@@ -1,0 +1,206 @@
+// Command gpufaas runs ad-hoc scenarios on the partitioning-enabled
+// FaaS platform: LLaMa multiplexing with a chosen technique, the
+// molecular-design campaign, or an SM sweep.
+//
+// Usage:
+//
+//	gpufaas multiplex -mode mps -procs 4 -completions 100
+//	gpufaas moldesign -rounds 4 -batch 16
+//	gpufaas sweep -percents 5,10,20,50,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/moldesign"
+	"repro/internal/report"
+	"repro/internal/rightsize"
+	"repro/internal/simgpu"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "multiplex":
+		err = runMultiplex(os.Args[2:])
+	case "moldesign":
+		err = runMolDesign(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:])
+	case "pack":
+		err = runPack(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpufaas:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack> [flags]`)
+	os.Exit(2)
+}
+
+func runMultiplex(args []string) error {
+	fs := flag.NewFlagSet("multiplex", flag.ExitOnError)
+	mode := fs.String("mode", "mps", "timeshare | mps-default | mps | mig | vgpu")
+	procs := fs.Int("procs", 4, "concurrent model processes (1-4)")
+	completions := fs.Int("completions", 100, "total completions")
+	tokens := fs.Int("tokens", 20, "output tokens per completion")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := core.RunMultiplex(core.MultiplexConfig{
+		Mode:         core.Mode(*mode),
+		Processes:    *procs,
+		Completions:  *completions,
+		OutputTokens: *tokens,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode=%s procs=%d completions=%d\n", r.Mode, r.Processes, r.Completions)
+	fmt.Printf("  preload (cold start, excluded): %.2fs\n", r.PreloadTime.Seconds())
+	fmt.Printf("  makespan:      %.2fs\n", r.Makespan.Seconds())
+	fmt.Printf("  throughput:    %.3f completions/s\n", r.Throughput)
+	fmt.Printf("  latency mean:  %.2fs  p50 %.2fs  p95 %.2fs  max %.2fs\n",
+		r.Latencies.Mean().Seconds(), r.Latencies.Percentile(50).Seconds(),
+		r.Latencies.Percentile(95).Seconds(), r.Latencies.Max().Seconds())
+	fmt.Printf("  utilization:   %.0f%%\n", r.Utilization*100)
+	return nil
+}
+
+func runMolDesign(args []string) error {
+	fs := flag.NewFlagSet("moldesign", flag.ExitOnError)
+	rounds := fs.Int("rounds", 4, "active-learning rounds")
+	batch := fs.Int("batch", 16, "simulations per round")
+	initial := fs.Int("initial", 32, "initial random simulations")
+	pool := fs.Int("pool", 4000, "candidates scored per round")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	gantt := fs.Bool("gantt", true, "print the phase timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := moldesign.DefaultConfig()
+	cfg.Rounds = *rounds
+	cfg.BatchSize = *batch
+	cfg.InitialPool = *initial
+	cfg.CandidatePool = *pool
+	cfg.Seed = *seed
+	res, err := core.RunMolDesign(cfg)
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	fmt.Printf("campaign finished in %.1fs (virtual): dataset=%d best IP=%.3f (initial %.3f, pool mean %.3f)\n",
+		res.Makespan.Seconds(), rep.Dataset, rep.BestIP, rep.InitialBestIP, rep.PoolMeanIP)
+	for i, m := range rep.RoundBatchMeanIP {
+		fmt.Printf("  round %d selected-batch mean IP: %.3f\n", i+1, m)
+	}
+	fmt.Printf("GPU busy %.0f%% with %d idle gaps\n", res.GPUBusyFraction*100, res.GPUIdleGaps)
+	if *gantt {
+		fmt.Print(res.Trace.Gantt(trace.GanttOpts{Width: 100, GroupBy: "kind", Glyphs: map[string]rune{
+			"simulation": 'S', "training": 'T', "inference": 'I',
+		}}))
+	}
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	percentsArg := fs.String("percents", "5,10,15,19,25,37,50,75,100", "MPS percentages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var percents []int
+	for _, p := range strings.Split(*percentsArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("bad percentage %q", p)
+		}
+		percents = append(percents, v)
+	}
+	return report.Fig2(os.Stdout, percents)
+}
+
+// runPack plans a partitioning for a set of tenant demands:
+//
+//	gpufaas pack -spec a100-80gb -tenant llama:21:18 -tenant resnet:10:1
+//
+// Each -tenant is name:SMs:memGB. Both an MPS percentage plan and a
+// placement-validated MIG layout are printed.
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	specName := fs.String("spec", "a100-80gb", "device spec (a100-40gb | a100-80gb)")
+	var tenants tenantFlags
+	fs.Var(&tenants, "tenant", "tenant demand as name:SMs:memGB (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(tenants) == 0 {
+		return fmt.Errorf("pack needs at least one -tenant name:SMs:memGB")
+	}
+	var spec simgpu.DeviceSpec
+	switch *specName {
+	case "a100-40gb":
+		spec = simgpu.A100SXM440GB()
+	case "a100-80gb":
+		spec = simgpu.A100SXM480GB()
+	default:
+		return fmt.Errorf("unknown spec %q", *specName)
+	}
+	if mps, err := rightsize.PackMPS(spec, tenants); err != nil {
+		fmt.Printf("MPS plan: infeasible: %v\n", err)
+	} else {
+		fmt.Printf("MPS plan (total %d%%, oversubscribed=%v):\n", mps.TotalPercent, mps.Oversubscribed)
+		for _, a := range mps.Assignments {
+			fmt.Printf("  %-12s CUDA_MPS_ACTIVE_THREAD_PERCENTAGE=%d\n", a.Tenant, a.Percent)
+		}
+	}
+	if mig, err := rightsize.PackMIG(spec, tenants); err != nil {
+		fmt.Printf("MIG plan: infeasible: %v\n", err)
+	} else {
+		fmt.Printf("MIG plan (layout %v):\n", mig.Layout)
+		for _, a := range mig.Assignments {
+			fmt.Printf("  %-12s %s\n", a.Tenant, a.Profile)
+		}
+	}
+	return nil
+}
+
+// tenantFlags parses repeated -tenant name:SMs:memGB flags.
+type tenantFlags []rightsize.TenantDemand
+
+func (t *tenantFlags) String() string { return fmt.Sprint([]rightsize.TenantDemand(*t)) }
+
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name:SMs:memGB, got %q", v)
+	}
+	sms, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad SMs in %q", v)
+	}
+	gb, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad memGB in %q", v)
+	}
+	*t = append(*t, rightsize.TenantDemand{
+		Name:     parts[0],
+		SMs:      sms,
+		MemBytes: int64(gb * 1e9),
+	})
+	return nil
+}

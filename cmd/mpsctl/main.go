@@ -1,0 +1,123 @@
+// Command mpsctl mimics nvidia-cuda-mps-control for the simulated
+// node: start/stop the per-device daemon, set the default active
+// thread percentage, and print the environment a client process must
+// export for a given GPU percentage (the mechanism the paper's Parsl
+// extension automates, §4.1).
+//
+//	mpsctl -f node.json start  -i 0
+//	mpsctl -f node.json set-default -i 0 -pct 30
+//	mpsctl -f node.json status
+//	mpsctl -f node.json env    -i 0 -pct 25
+//	mpsctl -f node.json quit   -i 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/devstate"
+	"repro/internal/gpuctl"
+)
+
+func main() {
+	fs := flag.NewFlagSet("mpsctl", flag.ExitOnError)
+	file := fs.String("f", "node.json", "node state file")
+	idx := fs.Int("i", 0, "device index")
+	pct := fs.Int("pct", 0, "GPU percentage (set-default, env)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mpsctl [flags] <start|quit|set-default|status|env>")
+		fs.PrintDefaults()
+	}
+	args := os.Args[1:]
+	verb := ""
+	if len(args) > 0 && args[0][0] != '-' {
+		verb, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if verb == "" && fs.NArg() > 0 {
+		verb = fs.Arg(0)
+	}
+	if verb == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := run(verb, *file, *idx, *pct); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verb, file string, idx, pct int) error {
+	state, err := devstate.Load(file)
+	if err != nil {
+		return err
+	}
+	save := true
+	switch verb {
+	case "status":
+		save = false
+		for i, d := range state.Devices {
+			status := "stopped"
+			if d.MPSRunning {
+				status = "running"
+				if d.MPSDefaultPct > 0 {
+					status += " (default " + strconv.Itoa(d.MPSDefaultPct) + "%)"
+				}
+			}
+			if d.MIGEnabled {
+				status = "unavailable (MIG mode)"
+			}
+			fmt.Printf("device %d %s (%s): MPS %s\n", i, d.Name, d.Spec, status)
+		}
+	case "start":
+		dev, err := state.Device(idx)
+		if err != nil {
+			return err
+		}
+		if err := dev.StartMPS(); err != nil {
+			return err
+		}
+		fmt.Printf("nvidia-cuda-mps-control started on %s: clients now share the GPU spatially\n", dev.Name)
+	case "quit":
+		dev, err := state.Device(idx)
+		if err != nil {
+			return err
+		}
+		dev.QuitMPS()
+		fmt.Printf("MPS daemon on %s stopped: device back to time-sharing\n", dev.Name)
+	case "set-default":
+		dev, err := state.Device(idx)
+		if err != nil {
+			return err
+		}
+		if err := dev.SetMPSDefault(pct); err != nil {
+			return err
+		}
+		fmt.Printf("set_default_active_thread_percentage %d on %s\n", pct, dev.Name)
+	case "env":
+		save = false
+		dev, err := state.Device(idx)
+		if err != nil {
+			return err
+		}
+		if !dev.MPSRunning {
+			fmt.Fprintln(os.Stderr, "note: MPS daemon not running — the percentage will be inert")
+		}
+		b := gpuctl.Binding{Accelerator: strconv.Itoa(idx), GPUPercent: pct}
+		for _, k := range []string{gpuctl.EnvVisibleDevices, gpuctl.EnvMPSThreadPct} {
+			if v, ok := b.Environ()[k]; ok {
+				fmt.Printf("export %s=%s\n", k, v)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+	if save {
+		return state.Save(file)
+	}
+	return nil
+}

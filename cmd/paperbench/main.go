@@ -1,0 +1,95 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation from the simulator.
+//
+// Usage:
+//
+//	paperbench <artifact> [flags]
+//
+// Artifacts: fig1, fig2, fig3, fig4, fig5 (fig4 and fig5 run the same
+// experiment and print both), table1, coldstart, reconfig, rightsize,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/moldesign"
+	"repro/internal/report"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: paperbench <artifact> [flags]
+
+artifacts:
+  fig1       per-layer FLOP variation of CNNs
+  fig2       LLaMa-2 latency vs #SMs under MPS
+  fig3       molecular-design timeline and GPU idle time
+  fig4       completion time, 1-4 processes x {timeshare, MPS, MIG}
+  fig5       same experiment, average inference latency
+  table1     quantified multiplexing-technique comparison
+  coldstart  cold-start breakdown (function init / context / load)
+  reconfig   re-partitioning downtime incl. weight-cache ablation
+  rightsize  partition right-sizing study
+  ablations  design-choice ablations (host gap, mem fraction,
+             batching vs multiplexing, vGPU quantum)
+  mixed      real-time ResNet next to a LLaMa service
+  openloop   Poisson-arrival serving: stability per technique
+  all        everything, in paper order
+
+flags:
+  -completions N   completions for fig4/fig5/all (default 100)
+  -csv DIR         also write fig2/fig4/fig5 series as CSV into DIR`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	artifact := os.Args[1]
+	fs := flag.NewFlagSet(artifact, flag.ExitOnError)
+	completions := fs.Int("completions", 100, "completions for the fig4/fig5 experiment")
+	csvDir := fs.String("csv", "", "also write figure CSV series into this directory")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	w := os.Stdout
+	var err error
+	switch artifact {
+	case "fig1":
+		err = report.Fig1(w, []int{1, 8, 32})
+	case "fig2":
+		err = report.Fig2(w, nil)
+	case "fig3":
+		err = report.Fig3(w, moldesign.DefaultConfig())
+	case "fig4", "fig5":
+		err = report.Fig45(w, *completions)
+	case "table1":
+		err = report.Table1(w)
+	case "coldstart":
+		err = report.ColdStart(w)
+	case "reconfig":
+		err = report.Reconfig(w)
+	case "rightsize":
+		err = report.Rightsize(w)
+	case "ablations":
+		err = report.Ablations(w)
+	case "mixed":
+		err = report.MixedTenancy(w)
+	case "openloop":
+		err = report.OpenLoop(w)
+	case "all":
+		err = report.All(w, *completions)
+	default:
+		usage()
+	}
+	if err == nil && *csvDir != "" {
+		err = report.WriteFigureCSVs(*csvDir, *completions)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

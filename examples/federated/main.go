@@ -1,0 +1,122 @@
+// federated: the Globus Compute picture from the paper's §2.2 — a
+// cloud service routes registered functions over the WAN to
+// user-deployed endpoints, one of which is a GPU cluster with
+// fine-grained partitioning configured.
+//
+//	go run ./examples/federated
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/endpoint"
+	"repro/internal/faas"
+	"repro/internal/faas/htex"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	env := devent.NewEnv()
+	svc := endpoint.NewService(env)
+
+	// Endpoint 1: a laptop — CPU only, close by.
+	laptopNode := gpuctl.NewNode(env)
+	laptopCPU, err := htex.New(env, htex.Config{Label: "cpu", MaxWorkers: 4,
+		Provider: provider.NewLocal(env, laptopNode)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	laptop := faas.NewDFK(env, faas.Config{}, laptopCPU)
+
+	// Endpoint 2: a cluster behind Slurm with a partitioned A100.
+	gpu0, err := simgpu.NewDevice(env, "cluster-gpu0", simgpu.A100SXM480GB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterNode := gpuctl.NewNode(env, gpu0)
+	slurm := provider.NewSlurm(env, 15*time.Second, clusterNode)
+	clusterCPU, err := htex.New(env, htex.Config{Label: "cpu", MaxWorkers: 16, Provider: slurm})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterGPU, err := htex.New(env, htex.Config{
+		Label:                 "gpu",
+		AvailableAccelerators: []string{"0", "0"},
+		GPUPercentages:        []int{50, 50},
+		Provider:              provider.NewLocal(env, clusterNode),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := faas.NewDFK(env, faas.Config{}, clusterCPU, clusterGPU)
+
+	for _, reg := range []struct {
+		ep  *endpoint.Endpoint
+		err error
+	}{
+		{&endpoint.Endpoint{Name: "laptop", DFK: laptop, WANLatency: 20 * time.Millisecond,
+			Tags: map[string]string{"kind": "laptop"}}, nil},
+		{&endpoint.Endpoint{Name: "cluster", DFK: cluster, WANLatency: 60 * time.Millisecond,
+			Tags: map[string]string{"kind": "cluster", "gpu": "a100"}}, nil},
+	} {
+		if err := svc.RegisterEndpoint(reg.ep); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	svc.RegisterFunction(endpoint.Function{
+		Name: "preprocess", Executor: "cpu",
+		Fn: func(inv *faas.Invocation) (any, error) {
+			inv.Compute(2 * time.Second)
+			return "features", nil
+		},
+	})
+	svc.RegisterFunction(endpoint.Function{
+		Name: "gpu-train", Executor: "gpu",
+		Requirements: map[string]string{"gpu": "a100"},
+		Fn: func(inv *faas.Invocation) (any, error) {
+			ctx, err := inv.GPU()
+			if err != nil {
+				return nil, err
+			}
+			spec := ctx.SpecView()
+			_, err = ctx.Run(inv.Proc(), simgpu.Kernel{
+				Name:  "train",
+				FLOPs: 5 * float64(spec.DomainSMs) * spec.PerSMFLOPS, // 5 s at 100%
+			})
+			return "model-v1", err
+		},
+	})
+
+	if err := laptop.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	env.Spawn("scientist", func(p *devent.Proc) {
+		fmt.Println("submitting preprocess (CPU, no requirements) — routed to the least-loaded endpoint:")
+		if v, err := p.Wait(svc.Submit("", "preprocess")); err == nil {
+			fmt.Printf("  got %q at t=%.2fs\n", v, p.Now().Seconds())
+		} else {
+			fmt.Println("  error:", err)
+		}
+		fmt.Println("submitting gpu-train (requires gpu=a100) — must route to the cluster:")
+		ep, _ := svc.Route("gpu-train")
+		if v, err := p.Wait(svc.Submit("", "gpu-train")); err == nil {
+			fmt.Printf("  ran on %q (50%% MPS partition): %q at t=%.2fs\n", ep.Name, v, p.Now().Seconds())
+			fmt.Println("  (the 5s-at-full-GPU kernel took ~10s on half an A100, plus Slurm queue + WAN)")
+		} else {
+			fmt.Println("  error:", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

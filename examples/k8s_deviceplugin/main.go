@@ -1,0 +1,100 @@
+// k8s_deviceplugin: the Kubernetes side of the paper's story (§1
+// notes k8s "only has limited GPU sharing support") — the same node
+// and binding machinery exposed through a device-plugin resource
+// model: MIG instances as nvidia.com/mig-<profile> extended resources,
+// and MPS-replicated whole GPUs.
+//
+//	go run ./examples/k8s_deviceplugin
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/devent"
+	"repro/internal/deviceplugin"
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	env := devent.NewEnv()
+	gpu0, err := simgpu.NewDevice(env, "gpu0", simgpu.A100SXM480GB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu1, err := simgpu.NewDevice(env, "gpu1", simgpu.A100SXM480GB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := gpuctl.NewNode(env, gpu0, gpu1)
+
+	// Partition gpu1 into MIG instances, k8s "mixed" strategy.
+	env.Spawn("admin", func(p *devent.Proc) {
+		if err := gpu1.EnableMIG(p); err != nil {
+			log.Fatal(err)
+		}
+		for _, prof := range []string{"3g.40gb", "2g.20gb", "1g.10gb"} {
+			if _, err := gpu1.CreateInstance(prof); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	plugin, err := deviceplugin.New(node, deviceplugin.Config{
+		MIGStrategy: deviceplugin.MIGStrategyMixed,
+		Sharing:     &deviceplugin.SharingConfig{Strategy: deviceplugin.SharingMPS, Replicas: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("node capacity (what the kubelet would advertise):")
+	caps := plugin.Capacity()
+	names := make([]string, 0, len(caps))
+	for n := range caps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, caps[n])
+	}
+
+	// A pod requests one MPS replica of a whole GPU.
+	ids, resp, err := plugin.AllocateAny(deviceplugin.ResourceGPU, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npod A granted %v — container env:\n", ids)
+	for k, v := range resp.Envs {
+		fmt.Printf("  %s=%s\n", k, v)
+	}
+
+	// Another pod requests the 3g MIG slice.
+	ids, resp, err = plugin.AllocateAny("nvidia.com/mig-3g.40gb", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npod B granted %v — container env:\n", ids)
+	for k, v := range resp.Envs {
+		fmt.Printf("  %s=%s\n", k, v)
+	}
+
+	// The env is exactly what the CUDA runtime consumes at process
+	// start — prove it by opening a context with it.
+	env.Spawn("podB", func(p *devent.Proc) {
+		ctx, err := node.OpenContext(p, "podB", resp.Envs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npod B's container opened a context on its MIG slice (%d SMs domain)\n",
+			ctx.SpecView().DomainSMs)
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// resnet_profile: the paper's Fig. 1 analysis made executable —
+// per-layer compute profiles of ImageNet CNNs, then the same networks
+// run on the simulated GPU under different partition sizes to show
+// why variable per-layer parallelism leaves big partitions idle.
+//
+//	go run ./examples/resnet_profile
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/models"
+	"repro/internal/simgpu"
+)
+
+func main() {
+	fmt.Println("per-layer GFLOPs (batch 1) — min/max/mean across conv layers:")
+	for _, m := range models.Zoo() {
+		prof := m.ConvProfile()
+		min, max, sum := prof[0].GFLOPs, prof[0].GFLOPs, 0.0
+		for _, p := range prof {
+			if p.GFLOPs < min {
+				min = p.GFLOPs
+			}
+			if p.GFLOPs > max {
+				max = p.GFLOPs
+			}
+			sum += p.GFLOPs
+		}
+		fmt.Printf("  %-14s %3d convs: min %.4f  max %.4f  mean %.4f  (range %.0fx)\n",
+			m.Name, len(prof), min, max, sum/float64(len(prof)), max/min)
+	}
+
+	fmt.Println("\nResNet-50 batch-1 inference on a partitioned A100 (latency per image):")
+	fmt.Printf("%-12s %-12s %s\n", "partition", "latency", "vs full GPU")
+	full := measure(100)
+	for _, pct := range []int{10, 25, 50, 100} {
+		lat := measure(pct)
+		fmt.Printf("%9d%%   %9.2fms   %.2fx\n", pct, lat.Seconds()*1e3, float64(lat)/float64(full))
+	}
+	fmt.Println("\nsmall partitions barely hurt batch-1 CNN inference — per-layer")
+	fmt.Println("parallelism varies so rapidly (Fig. 1) that most layers cannot fill")
+	fmt.Println("a whole A100, which is why multiplexing pays.")
+}
+
+// measure runs one lowered ResNet-50 inference under an MPS cap.
+func measure(pct int) time.Duration {
+	env := devent.NewEnv()
+	dev, err := simgpu.NewDevice(env, "gpu0", simgpu.A100SXM480GB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.SetPolicy(simgpu.PolicySpatial); err != nil {
+		log.Fatal(err)
+	}
+	kernels := models.Lower(models.ResNet50(), models.LowerOpts{
+		Batch:           1,
+		Tag:             "infer",
+		FuseElementwise: true,
+	})
+	var lat time.Duration
+	env.Spawn("infer", func(p *devent.Proc) {
+		ctx, err := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true, SMPercent: pct})
+		if err != nil {
+			env.Fail(err)
+			return
+		}
+		start := p.Now()
+		if err := ctx.RunAll(p, kernels); err != nil {
+			env.Fail(err)
+			return
+		}
+		lat = p.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return lat
+}

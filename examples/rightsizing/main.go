@@ -1,0 +1,104 @@
+// rightsizing: the paper's future-work pipeline (§7) end to end —
+// profile a model's latency-vs-SMs curve, pick the partition knee,
+// and re-partition a running service quickly using the GPU-resident
+// weight cache.
+//
+//	go run ./examples/rightsizing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devent"
+	"repro/internal/llm"
+	"repro/internal/rightsize"
+	"repro/internal/simgpu"
+	"repro/internal/weightcache"
+)
+
+func main() {
+	spec := simgpu.A100SXM480GB()
+	cfg := llm.LLaMa27B()
+
+	// 1. Profile: latency vs SM budget (the Fig. 2 sweep).
+	curve, err := rightsize.Sweep(spec.SMs, []int{5, 10, 15, 19, 25, 50, 100},
+		func(pct int) (time.Duration, error) { return core.Fig2SinglePoint(cfg, pct) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("latency vs SM budget (LLaMa-2-7B, 20-token completion):")
+	for _, p := range curve {
+		fmt.Printf("  %3d SMs (%3d%%): %.2fs\n", p.SMs, p.Percent, p.Latency.Seconds())
+	}
+
+	// 2. Recommend a partition.
+	rec, err := rightsize.Recommend(spec, curve, 0.05, cfg.FootprintBytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nknee at %d SMs → recommend MPS %d%% or MIG %s; up to %d tenants per GPU\n",
+		rec.KneeSMs, rec.MPSPercent, rec.MIGProfile, rec.TenantsPerGPU)
+
+	// 3. Apply it to a live service: re-partition from 100% to the
+	// recommendation, with and without the weight cache.
+	for _, cached := range []bool{false, true} {
+		downtime := repartition(spec, cfg, rec.MPSPercent, cached)
+		how := "full restart (reload weights)"
+		if cached {
+			how = "restart + GPU weight cache"
+		}
+		fmt.Printf("re-partition 100%% → %d%% via %s: %.2fs downtime\n", rec.MPSPercent, how, downtime.Seconds())
+	}
+}
+
+func repartition(spec simgpu.DeviceSpec, cfg llm.Config, pct int, cached bool) time.Duration {
+	env := devent.NewEnv()
+	dev, err := simgpu.NewDevice(env, "gpu0", spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.SetPolicy(simgpu.PolicySpatial); err != nil {
+		log.Fatal(err)
+	}
+	cache := weightcache.New()
+	var downtime time.Duration
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{})
+		var eng *llm.Engine
+		var err error
+		if cached {
+			eng, _, err = cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, spec.HostLoadBW)
+		} else {
+			eng = llm.New(cfg)
+			err = eng.Load(p, []*simgpu.Context{ctx}, spec.HostLoadBW)
+		}
+		if err != nil {
+			env.Fail(err)
+			return
+		}
+		eng.Complete(p, 20, 20)
+
+		start := p.Now()
+		eng.Unload()
+		ctx.Destroy()
+		ctx2, _ := dev.NewContext(p, simgpu.ContextOpts{SMPercent: pct})
+		if cached {
+			eng, _, err = cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx2}, spec.HostLoadBW)
+		} else {
+			eng = llm.New(cfg)
+			err = eng.Load(p, []*simgpu.Context{ctx2}, spec.HostLoadBW)
+		}
+		if err != nil {
+			env.Fail(err)
+			return
+		}
+		downtime = p.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return downtime
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Without a host-side gap, one process already saturates the GPU and
+// time-sharing cannot help; with the calibrated 45 ms gap it recovers
+// ~20%. The ablation isolates the mechanism behind §5.2's "even time
+// sharing decreases total task completion time".
+func TestAblationHostGap(t *testing.T) {
+	rows, err := AblationHostGap([]time.Duration{0, 45 * time.Millisecond, 90 * time.Millisecond}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Improvement > 0.03 {
+		t.Errorf("zero-gap improvement = %.2f, want ~0", rows[0].Improvement)
+	}
+	if rows[1].Improvement < 0.10 {
+		t.Errorf("45ms-gap improvement = %.2f, want >=0.10", rows[1].Improvement)
+	}
+	if rows[2].Improvement <= rows[1].Improvement {
+		t.Errorf("improvement not increasing in gap: %.2f then %.2f", rows[1].Improvement, rows[2].Improvement)
+	}
+}
+
+// The MPS-vs-MIG gap at three processes is driven by bandwidth
+// quantization: with no memory traffic MIG-2g matches MPS; at the
+// calibrated 0.4 fraction MIG pays a clear penalty.
+func TestAblationMemFraction(t *testing.T) {
+	rows, err := AblationMemFraction([]float64{0.01, 0.4}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MIGPenalty > 1.05 {
+		t.Errorf("compute-only MIG penalty = %.2f, want ~1", rows[0].MIGPenalty)
+	}
+	if rows[1].MIGPenalty < 1.15 {
+		t.Errorf("calibrated MIG penalty = %.2f, want >1.15", rows[1].MIGPenalty)
+	}
+	if rows[1].MIGPenalty <= rows[0].MIGPenalty {
+		t.Error("penalty should grow with memory traffic")
+	}
+}
+
+// Batching inside one process beats multiplexing across processes on
+// throughput (one weight stream feeds the whole batch) — the reason
+// multiplexing targets *multi-tenant* GPUs, not single applications.
+func TestAblationBatchVsMultiplex(t *testing.T) {
+	rows, err := AblationBatchVsMultiplex(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BatchVsMultiplexRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	b1 := byName["batch x1 (one process)"]
+	b4 := byName["batch x4 (one process)"]
+	m4 := byName["multiplex MPS x4"]
+	if b4.Throughput < 3*b1.Throughput {
+		t.Errorf("batch-4 throughput %.3f not ≥3× batch-1 %.3f", b4.Throughput, b1.Throughput)
+	}
+	if b4.Throughput <= m4.Throughput {
+		t.Errorf("batch-4 %.3f should beat MPS-4 %.3f on throughput", b4.Throughput, m4.Throughput)
+	}
+	// And batching holds latency at the single-stream level while
+	// MPS-4 pays bandwidth contention.
+	if b4.MeanLat > b1.MeanLat+time.Second {
+		t.Errorf("batch-4 latency %v far above batch-1 %v", b4.MeanLat, b1.MeanLat)
+	}
+}
+
+// Whatever the quantum, vGPU's VM-level slicing delivers
+// time-sharing-level latency (≈4× single-stream for four tenants):
+// it extracts no spatial parallelism — Table 1's point.
+func TestAblationVGPUQuantum(t *testing.T) {
+	rows, err := AblationVGPUQuantum([]time.Duration{time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const single = 4.53 // seconds, single-stream completion latency
+	for _, r := range rows {
+		ratio := r.MeanLat.Seconds() / single
+		if ratio < 2.8 || ratio > 4.6 {
+			t.Errorf("quantum %v: latency %.2fx single-stream, want ~4x", r.Quantum, ratio)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/simgpu"
+)
+
+// Mode selects the GPU sharing technique (Table 1).
+type Mode string
+
+// The multiplexing techniques compared in the evaluation.
+const (
+	// ModeTimeshare is the GPU default: no multiplexing software.
+	ModeTimeshare Mode = "timeshare"
+	// ModeMPSDefault is CUDA MPS without percentages.
+	ModeMPSDefault Mode = "mps-default"
+	// ModeMPS is CUDA MPS with equal GPU-percentage splits (the
+	// paper's Figs. 4–5 configuration).
+	ModeMPS Mode = "mps"
+	// ModeMIG uses MIG instances (3g/2g/1g per the paper).
+	ModeMIG Mode = "mig"
+	// ModeVGPU is vGPU-style VM time slicing.
+	ModeVGPU Mode = "vgpu"
+)
+
+// MIGLayoutFor returns the paper's instance layout for n concurrent
+// LLaMa processes on an 80 GB A100: 3/7 each at two, 2/7 at three,
+// 1/7 at four (§5.2).
+func MIGLayoutFor(n int) ([]string, error) {
+	switch n {
+	case 1:
+		return []string{"7g.80gb"}, nil
+	case 2:
+		return []string{"3g.40gb", "3g.40gb"}, nil
+	case 3:
+		return []string{"2g.20gb", "2g.20gb", "2g.20gb"}, nil
+	case 4:
+		return []string{"1g.10gb", "1g.10gb", "1g.10gb", "1g.10gb"}, nil
+	}
+	return nil, fmt.Errorf("core: no MIG layout for %d processes", n)
+}
+
+// MultiplexConfig parameterizes the Fig. 4/5 experiment.
+type MultiplexConfig struct {
+	// Mode is the sharing technique.
+	Mode Mode
+	// Processes is the number of concurrent model instances (1–4).
+	Processes int
+	// Completions is the total work, divided dynamically across
+	// processes (paper: 100).
+	Completions int
+	// PromptTokens and OutputTokens shape each completion (paper: a
+	// 20-word sentence).
+	PromptTokens, OutputTokens int
+	// Model overrides the service config (zero value: LLaMa-2-7B
+	// fp16, the footprint at which exactly four instances fit 80 GB).
+	Model llm.Config
+}
+
+func (c MultiplexConfig) withDefaults() MultiplexConfig {
+	if c.Processes <= 0 {
+		c.Processes = 1
+	}
+	if c.Completions <= 0 {
+		c.Completions = 100
+	}
+	if c.PromptTokens <= 0 {
+		c.PromptTokens = 20
+	}
+	if c.OutputTokens <= 0 {
+		c.OutputTokens = 20
+	}
+	if c.Model.Spec.Layers == 0 {
+		c.Model = llm.LLaMa27B()
+	}
+	if c.Mode == ModeMIG && c.Processes == 4 {
+		// 1g.10gb cannot hold fp16 7B weights; the paper nevertheless
+		// runs 4 instances — only feasible with a quantized (≈int8)
+		// deployment, which we model as a footprint change only (the
+		// latency calibration is unchanged). See EXPERIMENTS.md.
+		c.Model.WeightBytesOverride = 6 * simgpu.GB
+		c.Model.WorkspaceBytes = 3 * simgpu.GB
+	}
+	return c
+}
+
+// MultiplexResult is one bar of Figs. 4 and 5.
+type MultiplexResult struct {
+	Mode        Mode
+	Processes   int
+	Completions int
+	// PreloadTime covers model loading before measurement starts
+	// (excluded from Makespan, as the paper pre-warms the models).
+	PreloadTime time.Duration
+	// Makespan is the total task completion time (Fig. 4).
+	Makespan time.Duration
+	// Latencies are per-completion latencies (Fig. 5 uses the mean).
+	Latencies *metrics.Durations
+	// Throughput is completions per second.
+	Throughput float64
+	// Utilization is the device's mean busy-SM fraction during the
+	// measured window.
+	Utilization float64
+}
+
+// MeanLatency returns the average per-inference latency (Fig. 5).
+func (r *MultiplexResult) MeanLatency() time.Duration { return r.Latencies.Mean() }
+
+// RunMultiplex executes the paper's multiplexed-vs-non-multiplexed
+// experiment (§5.2): N concurrent LLaMa-2 service processes on one
+// A100-80GB share 100 text completions under the chosen technique.
+func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
+	c := cfg.withDefaults()
+	pl, err := NewPlatform(Options{DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()}})
+	if err != nil {
+		return nil, err
+	}
+	dev := pl.Devices[0]
+	hostBW := dev.Spec().HostLoadBW
+	model := c.Model
+
+	res := &MultiplexResult{
+		Mode:        c.Mode,
+		Processes:   c.Processes,
+		Completions: c.Completions,
+		Latencies:   &metrics.Durations{},
+	}
+
+	getEngine := func(inv *faas.Invocation) (*llm.Engine, error) {
+		if e, ok := inv.State()["engine"].(*llm.Engine); ok && e.Loaded() {
+			return e, nil
+		}
+		ctx, err := inv.GPU()
+		if err != nil {
+			return nil, err
+		}
+		e := llm.New(model)
+		if err := e.Load(inv.Proc(), []*simgpu.Context{ctx}, hostBW); err != nil {
+			return nil, err
+		}
+		inv.State()["engine"] = e
+		return e, nil
+	}
+	pl.Register(faas.App{Name: "llama-load", Executor: "gpu", Fn: func(inv *faas.Invocation) (any, error) {
+		_, err := getEngine(inv)
+		return nil, err
+	}})
+	pl.Register(faas.App{Name: "llama-complete", Executor: "gpu", Fn: func(inv *faas.Invocation) (any, error) {
+		e, err := getEngine(inv)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := e.Complete(inv.Proc(), c.PromptTokens, c.OutputTokens)
+		if err != nil {
+			return nil, err
+		}
+		return comp.Latency, nil
+	}})
+
+	runErr := pl.Run(func(p *devent.Proc) error {
+		accels := make([]string, c.Processes)
+		var pcts []int
+		switch c.Mode {
+		case ModeTimeshare:
+			for i := range accels {
+				accels[i] = "0"
+			}
+		case ModeMPSDefault, ModeMPS:
+			if _, err := pl.StartMPS(p, 0); err != nil {
+				return err
+			}
+			for i := range accels {
+				accels[i] = "0"
+			}
+			if c.Mode == ModeMPS {
+				pcts = make([]int, c.Processes)
+				for i := range pcts {
+					pcts[i] = 100 / c.Processes
+				}
+			}
+		case ModeMIG:
+			layout, err := MIGLayoutFor(c.Processes)
+			if err != nil {
+				return err
+			}
+			uuids, err := pl.ConfigureMIG(p, 0, layout)
+			if err != nil {
+				return err
+			}
+			accels = uuids
+		case ModeVGPU:
+			if err := dev.SetPolicy(simgpu.PolicyVGPU); err != nil {
+				return err
+			}
+			for i := range accels {
+				accels[i] = "0"
+			}
+		default:
+			return fmt.Errorf("core: unknown mode %q", c.Mode)
+		}
+		if err := pl.ConfigureGPUExecutor(p, accels, pcts); err != nil {
+			return err
+		}
+
+		// Pre-warm: one load per worker.
+		t0 := p.Now()
+		loads := make([]*devent.Event, c.Processes)
+		for i := range loads {
+			loads[i] = pl.DFK.Submit("llama-load").Event()
+		}
+		if _, err := p.Wait(devent.AllOf(pl.Env, loads...)); err != nil {
+			return err
+		}
+		res.PreloadTime = p.Now() - t0
+
+		// Measured phase: the 100 completions.
+		start := p.Now()
+		futs := make([]*faas.Future, c.Completions)
+		for i := range futs {
+			futs[i] = pl.DFK.Submit("llama-complete")
+		}
+		for _, f := range futs {
+			v, err := f.Result(p)
+			if err != nil {
+				return err
+			}
+			res.Latencies.Add(v.(time.Duration))
+		}
+		end := p.Now()
+		res.Makespan = end - start
+		res.Throughput = metrics.Throughput(c.Completions, res.Makespan)
+		res.Utilization = dev.Utilization(start, end)
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}

@@ -1,0 +1,193 @@
+// Package core is the library's facade: it assembles the simulated
+// testbed (devices, node, MPS/MIG control plane), the Parsl-like FaaS
+// runtime with the paper's partitioning extensions, and the experiment
+// drivers that regenerate every figure and table of the evaluation.
+//
+// A Platform corresponds to the paper's testbed (§5.1): a node with
+// CPU workers and A100 GPUs, a DataFlowKernel, a CPU executor, and a
+// reconfigurable GPU executor whose accelerator list and GPU
+// percentages express the partitioning (Listings 1–3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/faas/htex"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+	"repro/internal/monitor"
+	"repro/internal/simgpu"
+	"repro/internal/trace"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// DeviceSpecs lists the GPUs; default is the paper's two A100s
+	// (80 GB variant, used by the multi-instance experiments).
+	DeviceSpecs []simgpu.DeviceSpec
+	// CPUWorkers sizes the "cpu" executor (default 16, as in
+	// Listing 1; the testbed has 24 cores).
+	CPUWorkers int
+	// Retries is the DFK retry count (default 1, as in Listing 1).
+	Retries int
+	// WorkerInit is the function-initialization cold-start component
+	// (default 2 s).
+	WorkerInit time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.DeviceSpecs) == 0 {
+		o.DeviceSpecs = []simgpu.DeviceSpec{simgpu.A100SXM480GB(), simgpu.A100SXM480GB()}
+	}
+	if o.CPUWorkers <= 0 {
+		o.CPUWorkers = 16
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.WorkerInit == 0 {
+		o.WorkerInit = 2 * time.Second
+	}
+	return o
+}
+
+// Platform is an assembled testbed.
+type Platform struct {
+	Env     *devent.Env
+	Devices []*simgpu.Device
+	Node    *gpuctl.Node
+	DFK     *faas.DFK
+	CPU     *htex.HTEX
+	Trace   *trace.Log
+	// Monitor is the attached Parsl-style monitoring DB (Listing 1's
+	// log_dir): per-app statistics, worker busy time, task history.
+	Monitor *monitor.DB
+	opts    Options
+	gpu     *htex.HTEX
+}
+
+// NewPlatform builds the testbed with a started CPU executor; the GPU
+// executor is added via ConfigureGPUExecutor once the partitioning is
+// chosen.
+func NewPlatform(opts Options) (*Platform, error) {
+	o := opts.withDefaults()
+	env := devent.NewEnv()
+	devices := make([]*simgpu.Device, len(o.DeviceSpecs))
+	for i, spec := range o.DeviceSpecs {
+		d, err := simgpu.NewDevice(env, fmt.Sprintf("gpu%d", i), spec)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = d
+	}
+	node := gpuctl.NewNode(env, devices...)
+	cpu, err := htex.New(env, htex.Config{
+		Label:      "cpu",
+		MaxWorkers: o.CPUWorkers,
+		Provider:   provider.NewLocal(env, node),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dfk := faas.NewDFK(env, faas.Config{RunDir: "sim", Retries: o.Retries}, cpu)
+	pl := &Platform{
+		Env:     env,
+		Devices: devices,
+		Node:    node,
+		DFK:     dfk,
+		CPU:     cpu,
+		Trace:   &trace.Log{},
+		Monitor: monitor.New(),
+		opts:    o,
+	}
+	dfk.OnTaskEvent(pl.record)
+	pl.Monitor.Attach(dfk)
+	return pl, nil
+}
+
+// record turns task completions into trace spans.
+func (pl *Platform) record(ev faas.TaskEvent) {
+	if ev.Status != faas.TaskDone && ev.Status != faas.TaskFailed {
+		return
+	}
+	t := ev.Task
+	pl.Trace.Add(trace.Span{
+		Track: t.Worker,
+		Label: t.App,
+		Kind:  t.App,
+		Start: t.StartTime,
+		End:   t.EndTime,
+	})
+}
+
+// GPU returns the current GPU executor (nil before configuration).
+func (pl *Platform) GPU() *htex.HTEX { return pl.gpu }
+
+// ConfigureGPUExecutor creates (or replaces) the "gpu" executor with
+// the given accelerator list and optional per-entry GPU percentages —
+// the paper's extended configuration (§4.1). If an old GPU executor
+// exists it is shut down first, waiting for its workers to release
+// their contexts.
+func (pl *Platform) ConfigureGPUExecutor(p *devent.Proc, accelerators []string, percentages []int) error {
+	if pl.gpu != nil {
+		pl.gpu.ShutdownAndWait(p)
+	}
+	gpu, err := htex.New(pl.Env, htex.Config{
+		Label:                 "gpu",
+		AvailableAccelerators: accelerators,
+		GPUPercentages:        percentages,
+		WorkerInit:            pl.opts.WorkerInit,
+		Provider:              provider.NewLocal(pl.Env, pl.Node),
+	})
+	if err != nil {
+		return err
+	}
+	pl.gpu = gpu
+	return pl.DFK.AddExecutor(gpu)
+}
+
+// StartMPS launches the MPS daemon on device idx (spatial sharing).
+func (pl *Platform) StartMPS(p *devent.Proc, idx int) (*gpuctl.MPSDaemon, error) {
+	return pl.Node.StartMPS(p, idx)
+}
+
+// ConfigureMIG enables MIG mode on device idx (if needed) and installs
+// the given profile layout, returning the instance UUIDs in placement
+// order for use as accelerator references.
+func (pl *Platform) ConfigureMIG(p *devent.Proc, idx int, profiles []string) ([]string, error) {
+	dev := pl.Devices[idx]
+	if err := dev.EnableMIG(p); err != nil {
+		return nil, err
+	}
+	ins, err := dev.ConfigureMIG(p, profiles)
+	if err != nil {
+		return nil, err
+	}
+	uuids := make([]string, len(ins))
+	for i, in := range ins {
+		uuids[i] = in.UUID()
+	}
+	return uuids, nil
+}
+
+// Register registers an app on the DFK.
+func (pl *Platform) Register(app faas.App) { pl.DFK.Register(app) }
+
+// Run starts the DFK, spawns main as the workflow proc, and drives
+// the simulation to completion.
+func (pl *Platform) Run(main func(p *devent.Proc) error) error {
+	if err := pl.DFK.Start(); err != nil {
+		return err
+	}
+	var mainErr error
+	pl.Env.Spawn("main", func(p *devent.Proc) {
+		mainErr = main(p)
+	})
+	if err := pl.Env.Run(); err != nil {
+		return err
+	}
+	return mainErr
+}

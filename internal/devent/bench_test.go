@@ -1,0 +1,71 @@
+package devent
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleDrain measures raw event throughput.
+func BenchmarkScheduleDrain(b *testing.B) {
+	env := NewEnv()
+	for i := 0; i < b.N; i++ {
+		env.Schedule(time.Duration(i), func() {})
+	}
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSleepLoop measures proc context-switch cost.
+func BenchmarkProcSleepLoop(b *testing.B) {
+	env := NewEnv()
+	env.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanPingPong measures rendezvous cost between two procs.
+func BenchmarkChanPingPong(b *testing.B) {
+	env := NewEnv()
+	ping := NewChan[int](env, 0)
+	pong := NewChan[int](env, 0)
+	env.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(p, i)
+			pong.Recv(p)
+		}
+	})
+	env.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Recv(p)
+			pong.Send(p, i)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventFanout measures waking many waiters at once.
+func BenchmarkEventFanout(b *testing.B) {
+	const waiters = 64
+	for i := 0; i < b.N; i++ {
+		env := NewEnv()
+		ev := env.NewEvent()
+		for w := 0; w < waiters; w++ {
+			env.Spawn("w", func(p *Proc) { p.Wait(ev) })
+		}
+		env.Schedule(time.Second, func() { ev.Fire(nil) })
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package devent
+
+// Chan is a virtual-time channel with Go-channel semantics: unbuffered
+// channels rendezvous, buffered channels queue up to cap values, Recv
+// on a closed drained channel returns the zero value and ok=false, and
+// Send on a closed channel panics.
+type Chan[T any] struct {
+	env    *Env
+	cap    int
+	buf    []T
+	sendq  []*chanWaiter[T]
+	recvq  []*chanWaiter[T]
+	closed bool
+}
+
+type chanWaiter[T any] struct {
+	p         *Proc
+	val       T
+	ok        bool
+	woken     bool
+	cancelled bool
+}
+
+// NewChan returns a channel with the given buffer capacity (0 for an
+// unbuffered, rendezvous channel).
+func NewChan[T any](env *Env, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{env: env, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the buffer capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Send delivers v, blocking the proc until a receiver or buffer slot is
+// available. Sending on a closed channel panics, mirroring Go.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if !c.SendOr(p, v, nil) {
+		panic("devent: send on closed channel")
+	}
+}
+
+// SendOr is Send with an optional cancel event. It reports true if the
+// value was delivered, false if cancel fired first or the channel was
+// (or became) closed while waiting.
+func (c *Chan[T]) SendOr(p *Proc, v T, cancel *Event) bool {
+	if c.closed {
+		return false
+	}
+	if c.trySend(v) {
+		return true
+	}
+	w := &chanWaiter[T]{p: p, val: v}
+	c.sendq = append(c.sendq, w)
+	c.parkCancellable(p, w, cancel, func() { c.removeSender(w) })
+	return w.ok
+}
+
+// TrySend delivers v without blocking. It reports whether the value was
+// accepted (a waiting receiver or free buffer slot existed).
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		return false
+	}
+	return c.trySend(v)
+}
+
+func (c *Chan[T]) trySend(v T) bool {
+	if w := c.popRecv(); w != nil {
+		w.val, w.ok = v, true
+		w.woken = true
+		c.env.wake(w.p)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks until a value is available. ok is false when the channel
+// is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	v, ok, _ = c.RecvOr(p, nil)
+	return v, ok
+}
+
+// RecvOr is Recv with an optional cancel event. cancelled is true when
+// cancel fired before a value arrived; in that case ok is false.
+func (c *Chan[T]) RecvOr(p *Proc, cancel *Event) (v T, ok bool, cancelled bool) {
+	if v, ok := c.TryRecv(); ok {
+		return v, true, false
+	}
+	if c.closed {
+		var zero T
+		return zero, false, false
+	}
+	w := &chanWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	c.parkCancellable(p, w, cancel, func() { c.removeReceiver(w) })
+	return w.val, w.ok, w.cancelled
+}
+
+// TryRecv receives without blocking; ok is false when nothing was
+// available.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now occupy the freed slot (or, for an
+		// unbuffered channel, this branch never runs).
+		if w := c.popSend(); w != nil {
+			c.buf = append(c.buf, w.val)
+			w.ok = true
+			w.woken = true
+			c.env.wake(w.p)
+		}
+		return v, true
+	}
+	if w := c.popSend(); w != nil { // unbuffered rendezvous
+		w.ok = true
+		w.woken = true
+		c.env.wake(w.p)
+		return w.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Close marks the channel closed. Blocked receivers wake with ok=false;
+// blocked senders wake with delivery failure. Closing twice panics.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		panic("devent: close of closed channel")
+	}
+	c.closed = true
+	for _, w := range c.recvq {
+		if !w.woken {
+			w.woken = true
+			w.ok = false
+			c.env.wake(w.p)
+		}
+	}
+	c.recvq = nil
+	for _, w := range c.sendq {
+		if !w.woken {
+			w.woken = true
+			w.ok = false
+			c.env.wake(w.p)
+		}
+	}
+	c.sendq = nil
+}
+
+func (c *Chan[T]) parkCancellable(p *Proc, w *chanWaiter[T], cancel *Event, deregister func()) {
+	if cancel != nil {
+		// If cancel has already fired, OnFire runs the callback
+		// immediately, which schedules the wake that the park below
+		// consumes — the same path as a later cancellation.
+		cancel.OnFire(func(*Event) {
+			if w.woken {
+				return
+			}
+			w.woken = true
+			w.cancelled = true
+			deregister()
+			c.env.wake(p)
+		})
+	}
+	p.park()
+}
+
+func (c *Chan[T]) popRecv() *chanWaiter[T] {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if !w.woken {
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *Chan[T]) popSend() *chanWaiter[T] {
+	for len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if !w.woken {
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *Chan[T]) removeSender(w *chanWaiter[T]) {
+	for i, x := range c.sendq {
+		if x == w {
+			c.sendq = append(c.sendq[:i], c.sendq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Chan[T]) removeReceiver(w *chanWaiter[T]) {
+	for i, x := range c.recvq {
+		if x == w {
+			c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package devent implements a deterministic, process-oriented
+// discrete-event simulation kernel.
+//
+// An Env owns a virtual clock and an event queue. Simulated activities
+// are either plain scheduled callbacks (Schedule) or Procs: goroutines
+// that run one at a time under the scheduler's control and advance
+// virtual time by blocking on Sleep, Events, Chans, or Resources.
+//
+// The kernel is logically single-threaded: at any instant either the
+// scheduler loop or exactly one Proc is executing. All devent objects
+// must therefore only be touched from "sim context" — from inside a
+// Proc body or a scheduled callback. No locks are needed and runs are
+// fully deterministic: simultaneous events execute in the order they
+// were scheduled.
+package devent
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// ErrTimeout is returned by the *Timeout blocking variants when the
+// deadline elapses before the awaited condition becomes true.
+var ErrTimeout = errors.New("devent: timeout")
+
+// ErrDeadlock is returned by Run when no events remain but one or more
+// Procs are still blocked.
+var ErrDeadlock = errors.New("devent: deadlock")
+
+// ErrClosed is returned for operations on closed channels or destroyed
+// resources where panicking would be unhelpful.
+var ErrClosed = errors.New("devent: closed")
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create one with NewEnv.
+type Env struct {
+	now     time.Duration
+	seq     int64
+	queue   eventHeap
+	ack     chan struct{}
+	procs   map[int64]*Proc
+	nextPID int64
+	running bool
+	failure error
+}
+
+// NewEnv returns a fresh simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		ack:   make(chan struct{}),
+		procs: make(map[int64]*Proc),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Fail aborts the simulation: Run returns err after the current
+// callback or proc yields. Only the first failure is retained.
+func (e *Env) Fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+}
+
+// Timer is a handle to a scheduled callback. Cancelling an already
+// fired or cancelled timer is a no-op.
+type Timer struct {
+	item *queueItem
+}
+
+// Cancel prevents the timer's callback from running. It reports whether
+// the timer was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.item == nil || t.item.fn == nil {
+		return false
+	}
+	t.item.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.item != nil && t.item.fn != nil }
+
+// When reports the virtual time at which the timer fires (or fired).
+func (t *Timer) When() time.Duration { return t.item.at }
+
+// Schedule runs fn at Now()+delay. A negative delay is treated as zero.
+// It returns a cancellable handle.
+func (e *Env) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Times in the past are
+// clamped to Now().
+func (e *Env) ScheduleAt(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	it := &queueItem{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, it)
+	return &Timer{item: it}
+}
+
+// Run drains the event queue, advancing virtual time, until no events
+// remain or a failure is recorded. It returns ErrDeadlock (wrapped with
+// the blocked proc names) if procs are still parked when the queue
+// empties.
+func (e *Env) Run() error { return e.run(-1) }
+
+// RunUntil behaves like Run but stops once the next event would occur
+// after t; the clock is then advanced to t. Procs still blocked at the
+// horizon are not a deadlock.
+func (e *Env) RunUntil(t time.Duration) error { return e.run(t) }
+
+func (e *Env) run(horizon time.Duration) error {
+	if e.running {
+		return errors.New("devent: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.failure == nil {
+		it := e.queue.peek()
+		if it == nil {
+			break
+		}
+		if horizon >= 0 && it.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if it.fn == nil { // cancelled
+			continue
+		}
+		if it.at > e.now {
+			e.now = it.at
+		}
+		fn := it.fn
+		it.fn = nil
+		fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if horizon >= 0 {
+		e.now = horizon
+	}
+	if blocked := e.blockedProcs(); len(blocked) > 0 {
+		return fmt.Errorf("%w: %d proc(s) blocked forever: %v", ErrDeadlock, len(blocked), blocked)
+	}
+	return nil
+}
+
+func (e *Env) blockedProcs() []string {
+	var names []string
+	for _, p := range e.procs {
+		if p.parked && !p.daemon {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// queueItem is a pending scheduled callback.
+type queueItem struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*queueItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*queueItem)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+func (h *eventHeap) peek() *queueItem {
+	// Lazily drop cancelled items sitting at the head so that horizon
+	// checks see the true next event. (Non-head cancelled items are
+	// dropped when popped.)
+	for h.Len() > 0 && (*h)[0].fn == nil {
+		heap.Pop(h)
+	}
+	if h.Len() == 0 {
+		return nil
+	}
+	return (*h)[0]
+}
+
+// Proc is a simulated process: a goroutine that runs under scheduler
+// control and may block in virtual time.
+type Proc struct {
+	env    *Env
+	id     int64
+	name   string
+	resume chan struct{}
+	parked bool
+	dead   bool
+	daemon bool
+	done   *Event
+}
+
+// SetDaemon marks the proc as a daemon: a parked daemon (e.g. an idle
+// worker waiting for tasks) does not count as a deadlock when the
+// event queue drains, mirroring daemon-thread semantics.
+func (p *Proc) SetDaemon(d bool) { p.daemon = d }
+
+// Spawn starts a new process executing fn. The process begins running
+// at the current virtual time (after the caller yields control). The
+// returned Proc's Done event fires when fn returns.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		env:    e,
+		id:     e.nextPID,
+		name:   fmt.Sprintf("%s#%d", name, e.nextPID),
+		resume: make(chan struct{}),
+		done:   e.NewEvent(),
+	}
+	e.procs[p.id] = p
+	go p.body(fn)
+	e.Schedule(0, func() { e.handoff(p) })
+	return p
+}
+
+func (p *Proc) body(fn func(p *Proc)) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.env.Fail(fmt.Errorf("devent: proc %s panicked: %v\n%s", p.name, r, debug.Stack()))
+		}
+		p.dead = true
+		delete(p.env.procs, p.id)
+		if !p.done.Fired() {
+			p.done.Fire(nil)
+		}
+		p.env.ack <- struct{}{}
+	}()
+	fn(p)
+}
+
+// handoff transfers control to p and waits until it parks or exits.
+func (e *Env) handoff(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.parked = false
+	p.resume <- struct{}{}
+	<-e.ack
+}
+
+// park yields control back to the scheduler until somebody resumes p.
+func (p *Proc) park() {
+	p.parked = true
+	p.env.ack <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at the current virtual time.
+func (e *Env) wake(p *Proc) {
+	e.Schedule(0, func() { e.handoff(p) })
+}
+
+// Env returns the environment the proc runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the proc's unique name ("base#id").
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Done returns the event fired when the proc's body returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// Sleep blocks the proc for d of virtual time. Non-positive durations
+// yield (the proc re-queues at the current time).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.Schedule(d, func() { p.env.handoff(p) })
+	p.park()
+}
+
+// Yield re-queues the proc at the current time, letting other pending
+// events at this timestamp run first.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,180 @@
+package devent
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event is a one-shot occurrence carrying a value or an error. Procs
+// block on it with Wait; callbacks attach with OnFire. Events fire at
+// most once: firing twice panics (use Fired to guard).
+type Event struct {
+	env     *Env
+	name    string
+	fired   bool
+	value   any
+	err     error
+	waiters []*eventWaiter
+	cbs     []func(*Event)
+}
+
+type eventWaiter struct {
+	p     *Proc
+	woken bool
+}
+
+// NewEvent returns an unfired event bound to the environment.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// NewNamedEvent returns an unfired event with a diagnostic name.
+func (e *Env) NewNamedEvent(name string) *Event { return &Event{env: e, name: name} }
+
+// Fired reports whether the event has fired (successfully or not).
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Value returns the value the event fired with (nil before firing or
+// after Fail).
+func (ev *Event) Value() any { return ev.value }
+
+// Err returns the error the event failed with, or nil.
+func (ev *Event) Err() error { return ev.err }
+
+// Fire completes the event successfully with value v, waking all
+// waiters and running callbacks. Firing a fired event panics.
+func (ev *Event) Fire(v any) { ev.fire(v, nil) }
+
+// Fail completes the event with an error, waking all waiters and
+// running callbacks. Failing a fired event panics.
+func (ev *Event) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("devent: event %q failed with nil error", ev.name)
+	}
+	ev.fire(nil, err)
+}
+
+func (ev *Event) fire(v any, err error) {
+	if ev.fired {
+		panic(fmt.Sprintf("devent: event %q fired twice", ev.name))
+	}
+	ev.fired = true
+	ev.value = v
+	ev.err = err
+	for _, w := range ev.waiters {
+		if !w.woken {
+			w.woken = true
+			ev.env.wake(w.p)
+		}
+	}
+	ev.waiters = nil
+	cbs := ev.cbs
+	ev.cbs = nil
+	for _, cb := range cbs {
+		cb(ev)
+	}
+}
+
+// OnFire registers a callback invoked in sim context when the event
+// fires. If the event already fired, the callback runs immediately.
+func (ev *Event) OnFire(cb func(*Event)) {
+	if ev.fired {
+		cb(ev)
+		return
+	}
+	ev.cbs = append(ev.cbs, cb)
+}
+
+func (ev *Event) addWaiter(w *eventWaiter) { ev.waiters = append(ev.waiters, w) }
+
+func (ev *Event) removeWaiter(w *eventWaiter) {
+	for i, x := range ev.waiters {
+		if x == w {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wait blocks the proc until the event fires and returns its value and
+// error. If the event already fired it returns immediately.
+func (p *Proc) Wait(ev *Event) (any, error) {
+	if ev.fired {
+		return ev.value, ev.err
+	}
+	w := &eventWaiter{p: p}
+	ev.addWaiter(w)
+	p.park()
+	return ev.value, ev.err
+}
+
+// WaitTimeout blocks until the event fires or d elapses. On timeout it
+// returns (nil, ErrTimeout) and the proc is no longer waiting.
+func (p *Proc) WaitTimeout(ev *Event, d time.Duration) (any, error) {
+	if ev.fired {
+		return ev.value, ev.err
+	}
+	w := &eventWaiter{p: p}
+	ev.addWaiter(w)
+	timedOut := false
+	t := p.env.Schedule(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		timedOut = true
+		ev.removeWaiter(w)
+		p.env.wake(p)
+	})
+	p.park()
+	if timedOut {
+		return nil, ErrTimeout
+	}
+	t.Cancel()
+	return ev.value, ev.err
+}
+
+// AnyOf returns an event that fires as soon as any input event fires;
+// its value is the first firing *Event (inspect its Value/Err). With no
+// inputs the result never fires.
+func AnyOf(e *Env, evs ...*Event) *Event {
+	out := e.NewNamedEvent("anyOf")
+	for _, ev := range evs {
+		ev := ev
+		ev.OnFire(func(src *Event) {
+			if !out.fired {
+				out.Fire(src)
+			}
+		})
+		if out.fired {
+			break
+		}
+	}
+	return out
+}
+
+// AllOf returns an event that fires once every input event has fired;
+// its value is a []*Event of the inputs in argument order. If any input
+// fails, the output fails with the first such error (but still only
+// after all inputs complete). With no inputs it fires immediately.
+func AllOf(e *Env, evs ...*Event) *Event {
+	out := e.NewNamedEvent("allOf")
+	remaining := len(evs)
+	if remaining == 0 {
+		out.Fire([]*Event{})
+		return out
+	}
+	for _, ev := range evs {
+		ev.OnFire(func(*Event) {
+			remaining--
+			if remaining == 0 {
+				for _, in := range evs {
+					if in.err != nil {
+						out.Fail(in.err)
+						return
+					}
+				}
+				out.Fire(append([]*Event(nil), evs...))
+			}
+		})
+	}
+	return out
+}

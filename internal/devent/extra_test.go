@@ -1,0 +1,243 @@
+package devent
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWaitTimeoutOnFiredEvent(t *testing.T) {
+	env := NewEnv()
+	ev := env.NewEvent()
+	ev.Fire("v")
+	env.Spawn("w", func(p *Proc) {
+		v, err := p.WaitTimeout(ev, time.Second)
+		if err != nil || v != "v" {
+			t.Errorf("v=%v err=%v", v, err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("waited: %v", p.Now())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyOfWithPreFiredInput(t *testing.T) {
+	env := NewEnv()
+	a := env.NewEvent()
+	a.Fire(1)
+	b := env.NewEvent()
+	out := AnyOf(env, a, b)
+	if !out.Fired() || out.Value() != a {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestChanSendOrCancel(t *testing.T) {
+	env := NewEnv()
+	c := NewChan[int](env, 0) // no receiver ever
+	cancel := env.NewEvent()
+	var delivered = true
+	env.Spawn("s", func(p *Proc) {
+		delivered = c.SendOr(p, 7, cancel)
+	})
+	env.Schedule(time.Second, func() { cancel.Fire(nil) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("send should have been cancelled")
+	}
+}
+
+func TestChanSendOrClosed(t *testing.T) {
+	env := NewEnv()
+	c := NewChan[int](env, 0)
+	c.Close()
+	env.Spawn("s", func(p *Proc) {
+		if c.SendOr(p, 1, nil) {
+			t.Error("send on closed chan succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanCloseTwicePanics(t *testing.T) {
+	env := NewEnv()
+	c := NewChan[int](env, 0)
+	c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Close()
+}
+
+func TestRunUntilThenContinue(t *testing.T) {
+	env := NewEnv()
+	var done bool
+	env.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		done = true
+	})
+	if err := env.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("woke early")
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || env.Now() != 10*time.Second {
+		t.Fatalf("done=%v now=%v", done, env.Now())
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	env.Schedule(time.Second, func() {
+		order = append(order, 1)
+		env.Schedule(time.Second, func() { order = append(order, 2) })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || env.Now() != 2*time.Second {
+		t.Fatalf("order=%v now=%v", order, env.Now())
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	env := NewEnv()
+	tm := env.Schedule(3*time.Second, func() {})
+	if tm.When() != 3*time.Second {
+		t.Fatalf("when = %v", tm.When())
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventFailNilError(t *testing.T) {
+	env := NewEnv()
+	ev := env.NewNamedEvent("x")
+	ev.Fail(nil) // must synthesize an error rather than store nil
+	if ev.Err() == nil {
+		t.Fatal("nil error stored")
+	}
+}
+
+func TestProcNameAndEnvAccessors(t *testing.T) {
+	env := NewEnv()
+	p := env.Spawn("worker", func(p *Proc) {
+		if p.Env() != env {
+			t.Error("Env mismatch")
+		}
+	})
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceQueuedCount(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 1)
+	env.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(2 * time.Second)
+		r.Release(1)
+	})
+	for i := 0; i < 3; i++ {
+		env.Spawn("waiter", func(p *Proc) {
+			p.Sleep(time.Second)
+			r.Acquire(p, 1)
+			r.Release(1)
+		})
+	}
+	env.Schedule(1500*time.Millisecond, func() {
+		if r.Queued() != 3 {
+			t.Errorf("queued = %d", r.Queued())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReentrantRunErrors(t *testing.T) {
+	env := NewEnv()
+	var innerErr error
+	env.Schedule(0, func() { innerErr = env.Run() })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if innerErr == nil {
+		t.Fatal("re-entrant Run accepted")
+	}
+}
+
+func TestChanLenCapClosed(t *testing.T) {
+	env := NewEnv()
+	c := NewChan[int](env, 2)
+	if c.Cap() != 2 || c.Len() != 0 || c.Closed() {
+		t.Fatal("fresh chan state")
+	}
+	c.TrySend(1)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("not closed")
+	}
+	// Drain still works.
+	if v, ok := c.TryRecv(); !ok || v != 1 {
+		t.Fatalf("drain: %v %v", v, ok)
+	}
+}
+
+func TestNegativeChanCapacity(t *testing.T) {
+	env := NewEnv()
+	c := NewChan[int](env, -5)
+	if c.Cap() != 0 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+}
+
+func TestDeadlockErrorListsProcs(t *testing.T) {
+	env := NewEnv()
+	ev := env.NewEvent()
+	env.Spawn("alpha", func(p *Proc) { p.Wait(ev) })
+	env.Spawn("beta", func(p *Proc) { p.Wait(ev) })
+	err := env.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+	msg := err.Error()
+	if !contains(msg, "alpha") || !contains(msg, "beta") {
+		t.Fatalf("message lacks proc names: %s", msg)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,288 @@
+// Package deviceplugin ports the Kubernetes device-plugin resource
+// model onto the simulated node — the other common home for GPU
+// partitioning that the paper contrasts with Parsl ("many FaaS
+// platforms ... run on Kubernetes which only has limited GPU sharing
+// support", §1).
+//
+// Mirroring the NVIDIA k8s device plugin:
+//
+//   - whole GPUs advertise as "nvidia.com/gpu";
+//   - with MIGStrategy "mixed", MIG instances advertise as
+//     "nvidia.com/mig-<profile>" (e.g. nvidia.com/mig-3g.40gb);
+//   - with MIGStrategy "single", a uniform MIG layout advertises its
+//     instances as plain "nvidia.com/gpu";
+//   - a Sharing config replicates each whole GPU N ways, either by
+//     time-slicing (no isolation) or MPS (each replica gets an equal
+//     GPU percentage).
+//
+// Allocate returns the container environment — the same variables the
+// Parsl executor exports (gpuctl.Binding) — so both control planes
+// share one binding mechanism.
+package deviceplugin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+// Resource name constants.
+const (
+	ResourceGPU       = "nvidia.com/gpu"
+	resourceMIGPrefix = "nvidia.com/mig-"
+)
+
+// MIG strategies, as in the NVIDIA device plugin.
+const (
+	MIGStrategyNone   = "none"
+	MIGStrategySingle = "single"
+	MIGStrategyMixed  = "mixed"
+)
+
+// Sharing strategies.
+const (
+	SharingTimeSlicing = "time-slicing"
+	SharingMPS         = "mps"
+)
+
+// ErrExhausted is returned when no device of the requested resource is
+// free.
+var ErrExhausted = errors.New("deviceplugin: resource exhausted")
+
+// ErrNotAllocated is returned when freeing a device that is not held.
+var ErrNotAllocated = errors.New("deviceplugin: device not allocated")
+
+// SharingConfig replicates whole GPUs for co-tenancy.
+type SharingConfig struct {
+	// Strategy is SharingTimeSlicing or SharingMPS.
+	Strategy string
+	// Replicas is how many containers may share one GPU.
+	Replicas int
+}
+
+// Config selects the advertisement policy.
+type Config struct {
+	// MIGStrategy is none, single, or mixed.
+	MIGStrategy string
+	// Sharing, when non-nil, replicates non-MIG GPUs.
+	Sharing *SharingConfig
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.MIGStrategy {
+	case "", MIGStrategyNone, MIGStrategySingle, MIGStrategyMixed:
+	default:
+		return fmt.Errorf("deviceplugin: unknown MIG strategy %q", c.MIGStrategy)
+	}
+	if c.Sharing != nil {
+		if c.Sharing.Strategy != SharingTimeSlicing && c.Sharing.Strategy != SharingMPS {
+			return fmt.Errorf("deviceplugin: unknown sharing strategy %q", c.Sharing.Strategy)
+		}
+		if c.Sharing.Replicas < 2 {
+			return fmt.Errorf("deviceplugin: sharing needs >=2 replicas, got %d", c.Sharing.Replicas)
+		}
+	}
+	return nil
+}
+
+// Device is one advertised allocatable unit.
+type Device struct {
+	// ID is unique on the node, e.g. "gpu0", "gpu0::2" (replica), or
+	// a MIG UUID.
+	ID string
+	// Resource is the extended-resource name it counts against.
+	Resource string
+	// Healthy mirrors the device-plugin health bit.
+	Healthy bool
+}
+
+// AllocateResponse carries the container environment for a granted
+// device set.
+type AllocateResponse struct {
+	// Envs are the variables to inject into the container.
+	Envs map[string]string
+}
+
+// Plugin advertises and allocates the node's accelerators.
+type Plugin struct {
+	node      *gpuctl.Node
+	cfg       Config
+	allocated map[string]bool
+}
+
+// New creates a plugin over the node.
+func New(node *gpuctl.Node, cfg Config) (*Plugin, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MIGStrategy == "" {
+		cfg.MIGStrategy = MIGStrategyNone
+	}
+	return &Plugin{node: node, cfg: cfg, allocated: make(map[string]bool)}, nil
+}
+
+// ListDevices enumerates the advertised devices (the ListAndWatch
+// payload), sorted by ID for determinism.
+func (p *Plugin) ListDevices() []Device {
+	var out []Device
+	for i, dev := range p.node.Devices() {
+		if dev.MIGEnabled() {
+			out = append(out, p.migDevices(dev)...)
+			continue
+		}
+		out = append(out, p.wholeDevices(i, dev)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+func (p *Plugin) wholeDevices(idx int, dev *simgpu.Device) []Device {
+	if p.cfg.Sharing == nil {
+		return []Device{{ID: strconv.Itoa(idx), Resource: ResourceGPU, Healthy: true}}
+	}
+	out := make([]Device, p.cfg.Sharing.Replicas)
+	for r := range out {
+		out[r] = Device{
+			ID:       fmt.Sprintf("%d::%d", idx, r),
+			Resource: ResourceGPU,
+			Healthy:  true,
+		}
+	}
+	return out
+}
+
+func (p *Plugin) migDevices(dev *simgpu.Device) []Device {
+	var out []Device
+	switch p.cfg.MIGStrategy {
+	case MIGStrategyNone:
+		// MIG-enabled GPUs disappear from the inventory (and would be
+		// marked unhealthy by the real plugin).
+		return nil
+	case MIGStrategySingle:
+		// Uniform layouts advertise as plain GPUs; mixed layouts are a
+		// misconfiguration and advertise nothing.
+		profiles := map[string]bool{}
+		for _, in := range dev.Instances() {
+			profiles[in.Profile().Name] = true
+		}
+		if len(profiles) != 1 {
+			return nil
+		}
+		for _, in := range dev.Instances() {
+			out = append(out, Device{ID: in.UUID(), Resource: ResourceGPU, Healthy: true})
+		}
+	case MIGStrategyMixed:
+		for _, in := range dev.Instances() {
+			out = append(out, Device{
+				ID:       in.UUID(),
+				Resource: resourceMIGPrefix + in.Profile().Name,
+				Healthy:  true,
+			})
+		}
+	}
+	return out
+}
+
+// Capacity returns the advertised count per resource name.
+func (p *Plugin) Capacity() map[string]int {
+	caps := map[string]int{}
+	for _, d := range p.ListDevices() {
+		caps[d.Resource]++
+	}
+	return caps
+}
+
+// Available returns unallocated counts per resource name.
+func (p *Plugin) Available() map[string]int {
+	avail := map[string]int{}
+	for _, d := range p.ListDevices() {
+		if !p.allocated[d.ID] {
+			avail[d.Resource]++
+		}
+	}
+	return avail
+}
+
+// AllocateAny grants n devices of the named resource, choosing the
+// lowest free IDs, and returns their container environment.
+func (p *Plugin) AllocateAny(resource string, n int) ([]string, *AllocateResponse, error) {
+	var ids []string
+	for _, d := range p.ListDevices() {
+		if d.Resource == resource && !p.allocated[d.ID] {
+			ids = append(ids, d.ID)
+			if len(ids) == n {
+				break
+			}
+		}
+	}
+	if len(ids) < n {
+		return nil, nil, fmt.Errorf("%w: %s (want %d, free %d)", ErrExhausted, resource, n, len(ids))
+	}
+	resp, err := p.Allocate(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ids, resp, nil
+}
+
+// Allocate grants the specific device IDs (the kubelet flow) and
+// builds the container environment.
+func (p *Plugin) Allocate(ids []string) (*AllocateResponse, error) {
+	known := map[string]Device{}
+	for _, d := range p.ListDevices() {
+		known[d.ID] = d
+	}
+	for _, id := range ids {
+		d, ok := known[id]
+		if !ok {
+			return nil, fmt.Errorf("deviceplugin: unknown device %q", id)
+		}
+		if p.allocated[id] {
+			return nil, fmt.Errorf("%w: %s already allocated", ErrExhausted, id)
+		}
+		_ = d
+	}
+	var visible []string
+	pct := 0
+	for _, id := range ids {
+		accel, replica := splitReplica(id)
+		visible = append(visible, accel)
+		if replica && p.cfg.Sharing != nil && p.cfg.Sharing.Strategy == SharingMPS {
+			pct = 100 / p.cfg.Sharing.Replicas
+		}
+		p.allocated[id] = true
+	}
+	env := map[string]string{gpuctl.EnvVisibleDevices: strings.Join(visible, ",")}
+	if pct > 0 {
+		env[gpuctl.EnvMPSThreadPct] = strconv.Itoa(pct)
+	}
+	return &AllocateResponse{Envs: env}, nil
+}
+
+// Free releases previously allocated device IDs.
+func (p *Plugin) Free(ids []string) error {
+	for _, id := range ids {
+		if !p.allocated[id] {
+			return fmt.Errorf("%w: %s", ErrNotAllocated, id)
+		}
+	}
+	for _, id := range ids {
+		delete(p.allocated, id)
+	}
+	return nil
+}
+
+// splitReplica strips a "::n" replica suffix, reporting whether one
+// was present.
+func splitReplica(id string) (string, bool) {
+	if i := strings.Index(id, "::"); i >= 0 {
+		return id[:i], true
+	}
+	return id, false
+}

@@ -1,0 +1,212 @@
+package deviceplugin
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/devent"
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+func newNode(t *testing.T, nDev int) (*devent.Env, *gpuctl.Node, []*simgpu.Device) {
+	t.Helper()
+	env := devent.NewEnv()
+	devs := make([]*simgpu.Device, nDev)
+	for i := range devs {
+		d, err := simgpu.NewDevice(env, "gpu"+string(rune('0'+i)), simgpu.A100SXM480GB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	return env, gpuctl.NewNode(env, devs...), devs
+}
+
+func TestWholeGPUAdvertisement(t *testing.T) {
+	_, node, _ := newNode(t, 2)
+	p, err := New(node, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := p.ListDevices()
+	if len(devs) != 2 {
+		t.Fatalf("devices = %v", devs)
+	}
+	if p.Capacity()[ResourceGPU] != 2 {
+		t.Fatalf("capacity = %v", p.Capacity())
+	}
+}
+
+func TestTimeSlicingReplicas(t *testing.T) {
+	_, node, _ := newNode(t, 1)
+	p, _ := New(node, Config{Sharing: &SharingConfig{Strategy: SharingTimeSlicing, Replicas: 4}})
+	if got := p.Capacity()[ResourceGPU]; got != 4 {
+		t.Fatalf("capacity = %d", got)
+	}
+	ids, resp, err := p.AllocateAny(ResourceGPU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Envs[gpuctl.EnvVisibleDevices] != "0" {
+		t.Fatalf("env = %v", resp.Envs)
+	}
+	if _, ok := resp.Envs[gpuctl.EnvMPSThreadPct]; ok {
+		t.Fatal("time-slicing should not export an MPS percentage")
+	}
+	if p.Available()[ResourceGPU] != 3 {
+		t.Fatalf("available = %v", p.Available())
+	}
+	if err := p.Free(ids); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available()[ResourceGPU] != 4 {
+		t.Fatalf("available after free = %v", p.Available())
+	}
+}
+
+func TestMPSReplicasExportPercentage(t *testing.T) {
+	_, node, _ := newNode(t, 1)
+	p, _ := New(node, Config{Sharing: &SharingConfig{Strategy: SharingMPS, Replicas: 4}})
+	_, resp, err := p.AllocateAny(ResourceGPU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Envs[gpuctl.EnvMPSThreadPct] != "25" {
+		t.Fatalf("env = %v", resp.Envs)
+	}
+}
+
+func TestMIGMixedStrategy(t *testing.T) {
+	env, node, devs := newNode(t, 1)
+	env.Spawn("admin", func(pr *devent.Proc) {
+		devs[0].EnableMIG(pr)
+		devs[0].CreateInstance("3g.40gb")
+		devs[0].CreateInstance("2g.20gb")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := New(node, Config{MIGStrategy: MIGStrategyMixed})
+	caps := p.Capacity()
+	if caps["nvidia.com/mig-3g.40gb"] != 1 || caps["nvidia.com/mig-2g.20gb"] != 1 {
+		t.Fatalf("capacity = %v", caps)
+	}
+	ids, resp, err := p.AllocateAny("nvidia.com/mig-3g.40gb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Envs[gpuctl.EnvVisibleDevices]; got != ids[0] || got == "" {
+		t.Fatalf("env = %v ids = %v", resp.Envs, ids)
+	}
+	// The returned UUID resolves through the normal client bring-up.
+	var opened bool
+	env.Spawn("container", func(pr *devent.Proc) {
+		ctx, err := node.OpenContext(pr, "pod", resp.Envs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		opened = ctx != nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !opened {
+		t.Fatal("context not opened from allocation env")
+	}
+}
+
+func TestMIGSingleStrategyUniform(t *testing.T) {
+	env, node, devs := newNode(t, 1)
+	env.Spawn("admin", func(pr *devent.Proc) {
+		devs[0].EnableMIG(pr)
+		devs[0].CreateInstance("3g.40gb")
+		devs[0].CreateInstance("3g.40gb")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := New(node, Config{MIGStrategy: MIGStrategySingle})
+	if got := p.Capacity()[ResourceGPU]; got != 2 {
+		t.Fatalf("capacity = %v", p.Capacity())
+	}
+}
+
+func TestMIGSingleStrategyMixedLayoutAdvertisesNothing(t *testing.T) {
+	env, node, devs := newNode(t, 1)
+	env.Spawn("admin", func(pr *devent.Proc) {
+		devs[0].EnableMIG(pr)
+		devs[0].CreateInstance("3g.40gb")
+		devs[0].CreateInstance("2g.20gb")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := New(node, Config{MIGStrategy: MIGStrategySingle})
+	if len(p.ListDevices()) != 0 {
+		t.Fatalf("devices = %v", p.ListDevices())
+	}
+}
+
+func TestMIGNoneHidesMIGGPUs(t *testing.T) {
+	env, node, devs := newNode(t, 2)
+	env.Spawn("admin", func(pr *devent.Proc) {
+		devs[1].EnableMIG(pr)
+		devs[1].CreateInstance("7g.80gb")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := New(node, Config{MIGStrategy: MIGStrategyNone})
+	devsAd := p.ListDevices()
+	if len(devsAd) != 1 || devsAd[0].ID != "0" {
+		t.Fatalf("devices = %v", devsAd)
+	}
+}
+
+func TestExhaustionAndDoubleAllocate(t *testing.T) {
+	_, node, _ := newNode(t, 1)
+	p, _ := New(node, Config{})
+	ids, _, err := p.AllocateAny(ResourceGPU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.AllocateAny(ResourceGPU, 1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Allocate(ids); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("double allocate: %v", err)
+	}
+	if _, err := p.Allocate([]string{"phantom"}); err == nil {
+		t.Fatal("phantom device allocated")
+	}
+	if err := p.Free([]string{"phantom"}); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("free phantom: %v", err)
+	}
+}
+
+func TestMultiDeviceAllocation(t *testing.T) {
+	_, node, _ := newNode(t, 2)
+	p, _ := New(node, Config{})
+	_, resp, err := p.AllocateAny(ResourceGPU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Envs[gpuctl.EnvVisibleDevices] != "0,1" {
+		t.Fatalf("env = %v", resp.Envs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, node, _ := newNode(t, 1)
+	if _, err := New(node, Config{MIGStrategy: "bogus"}); err == nil {
+		t.Error("bogus MIG strategy accepted")
+	}
+	if _, err := New(node, Config{Sharing: &SharingConfig{Strategy: "bogus", Replicas: 2}}); err == nil {
+		t.Error("bogus sharing strategy accepted")
+	}
+	if _, err := New(node, Config{Sharing: &SharingConfig{Strategy: SharingMPS, Replicas: 1}}); err == nil {
+		t.Error("1 replica accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package devstate persists simulated GPU administrative state (MIG
+// mode, instance layout, MPS daemon status) to a JSON file, so the
+// cmd/migctl and cmd/mpsctl tools behave like their NVIDIA
+// counterparts across invocations. Every mutation is validated by
+// materializing the state on a fresh simgpu device, so the placement
+// and mode rules are identical to the simulator's.
+package devstate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/devent"
+	"repro/internal/simgpu"
+)
+
+// ErrUnknownSpec is returned for unrecognized device spec names.
+var ErrUnknownSpec = errors.New("devstate: unknown device spec")
+
+// DeviceState is one GPU's persisted administrative state.
+type DeviceState struct {
+	Name          string   `json:"name"`
+	Spec          string   `json:"spec"`
+	MIGEnabled    bool     `json:"mig_enabled"`
+	Instances     []string `json:"instances"` // profiles in creation order
+	MPSRunning    bool     `json:"mps_running"`
+	MPSDefaultPct int      `json:"mps_default_pct"`
+}
+
+// State is the node's device inventory.
+type State struct {
+	Devices []DeviceState `json:"devices"`
+}
+
+// SpecByName maps CLI spec names to device specs.
+func SpecByName(name string) (simgpu.DeviceSpec, error) {
+	switch strings.ToLower(name) {
+	case "a100-40gb", "a100-sxm4-40gb":
+		return simgpu.A100SXM440GB(), nil
+	case "a100-80gb", "a100-sxm4-80gb":
+		return simgpu.A100SXM480GB(), nil
+	case "mi210":
+		return simgpu.MI210(), nil
+	}
+	return simgpu.DeviceSpec{}, fmt.Errorf("%w: %q (want a100-40gb, a100-80gb, or mi210)", ErrUnknownSpec, name)
+}
+
+// Default returns a testbed-like state: two 80 GB A100s.
+func Default() *State {
+	return &State{Devices: []DeviceState{
+		{Name: "gpu0", Spec: "a100-80gb"},
+		{Name: "gpu1", Spec: "a100-80gb"},
+	}}
+}
+
+// Load reads the state file; a missing file yields the default state.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Default(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var s State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("devstate: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes the state file.
+func (s *State) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Device returns device i, or an error.
+func (s *State) Device(i int) (*DeviceState, error) {
+	if i < 0 || i >= len(s.Devices) {
+		return nil, fmt.Errorf("devstate: device index %d out of range (%d devices)", i, len(s.Devices))
+	}
+	return &s.Devices[i], nil
+}
+
+// Materialize rebuilds the device on a fresh environment, replaying
+// MIG mode and instance creation in order. Because instance UUIDs are
+// derived from a per-device creation counter, they are stable across
+// invocations.
+func (d *DeviceState) Materialize() (*simgpu.Device, []*simgpu.Instance, error) {
+	spec, err := SpecByName(d.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := devent.NewEnv()
+	dev, err := simgpu.NewDevice(env, d.Name, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var instances []*simgpu.Instance
+	if d.MIGEnabled {
+		if err := dev.EnableMIG(nil); err != nil {
+			return nil, nil, err
+		}
+		for _, prof := range d.Instances {
+			in, err := dev.CreateInstance(prof)
+			if err != nil {
+				return nil, nil, fmt.Errorf("devstate: replaying instance %q: %w", prof, err)
+			}
+			instances = append(instances, in)
+		}
+	} else if d.MPSRunning {
+		if err := dev.SetPolicy(simgpu.PolicySpatial); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dev, instances, nil
+}
+
+// EnableMIG validates and records MIG mode.
+func (d *DeviceState) EnableMIG() error {
+	if d.MPSRunning {
+		return errors.New("devstate: stop the MPS daemon before enabling MIG")
+	}
+	d.MIGEnabled = true
+	if _, _, err := d.Materialize(); err != nil {
+		d.MIGEnabled = false
+		return err
+	}
+	return nil
+}
+
+// DisableMIG requires an empty layout.
+func (d *DeviceState) DisableMIG() error {
+	if len(d.Instances) > 0 {
+		return fmt.Errorf("devstate: destroy %d instance(s) first", len(d.Instances))
+	}
+	d.MIGEnabled = false
+	return nil
+}
+
+// CreateInstance validates placement and appends the profile,
+// returning the new instance's UUID.
+func (d *DeviceState) CreateInstance(profile string) (string, error) {
+	if !d.MIGEnabled {
+		return "", simgpu.ErrMIGMode
+	}
+	d.Instances = append(d.Instances, profile)
+	_, ins, err := d.Materialize()
+	if err != nil {
+		d.Instances = d.Instances[:len(d.Instances)-1]
+		return "", err
+	}
+	return ins[len(ins)-1].UUID(), nil
+}
+
+// DestroyInstance removes the instance with the given UUID.
+func (d *DeviceState) DestroyInstance(uuid string) error {
+	_, ins, err := d.Materialize()
+	if err != nil {
+		return err
+	}
+	for i, in := range ins {
+		if in.UUID() == uuid {
+			d.Instances = append(d.Instances[:i], d.Instances[i+1:]...)
+			// Re-validate: remaining layout replays from scratch (it
+			// always will, since removing an instance frees slices).
+			if _, _, err := d.Materialize(); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("devstate: no instance %q on %s", uuid, d.Name)
+}
+
+// StartMPS records a running daemon (exclusive with MIG mode).
+func (d *DeviceState) StartMPS() error {
+	if d.MIGEnabled {
+		return simgpu.ErrMIGMode
+	}
+	d.MPSRunning = true
+	return nil
+}
+
+// QuitMPS stops the daemon and clears the default percentage.
+func (d *DeviceState) QuitMPS() {
+	d.MPSRunning = false
+	d.MPSDefaultPct = 0
+}
+
+// SetMPSDefault records the daemon-wide default percentage.
+func (d *DeviceState) SetMPSDefault(pct int) error {
+	if !d.MPSRunning {
+		return errors.New("devstate: MPS daemon not running")
+	}
+	if pct < 0 || pct > 100 {
+		return fmt.Errorf("devstate: percentage %d out of range", pct)
+	}
+	d.MPSDefaultPct = pct
+	return nil
+}

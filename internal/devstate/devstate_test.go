@@ -1,0 +1,161 @@
+package devstate
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/simgpu"
+)
+
+func TestLoadMissingGivesDefault(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Devices) != 2 || s.Devices[0].Spec != "a100-80gb" {
+		t.Fatalf("default = %+v", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	s := Default()
+	d, _ := s.Device(0)
+	if err := d.EnableMIG(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateInstance("3g.40gb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := back.Device(0)
+	if !d2.MIGEnabled || len(d2.Instances) != 1 || d2.Instances[0] != "3g.40gb" {
+		t.Fatalf("round trip = %+v", d2)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"a100-40gb", "A100-SXM4-80GB", "mi210"} {
+		if _, err := SpecByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := SpecByName("h100"); !errors.Is(err, ErrUnknownSpec) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCreateInstanceValidatesPlacement(t *testing.T) {
+	d := &DeviceState{Name: "gpu0", Spec: "a100-80gb"}
+	if _, err := d.CreateInstance("3g.40gb"); !errors.Is(err, simgpu.ErrMIGMode) {
+		t.Fatalf("create without MIG: %v", err)
+	}
+	if err := d.EnableMIG(); err != nil {
+		t.Fatal(err)
+	}
+	u1, err := d.CreateInstance("4g.40gb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second 4g has no placement; state must be unchanged.
+	if _, err := d.CreateInstance("4g.40gb"); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+	if len(d.Instances) != 1 {
+		t.Fatalf("instances = %v", d.Instances)
+	}
+	// UUIDs are stable across re-materialization.
+	_, ins, err := d.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].UUID() != u1 {
+		t.Fatalf("uuid drifted: %s vs %s", ins[0].UUID(), u1)
+	}
+}
+
+func TestDestroyInstance(t *testing.T) {
+	d := &DeviceState{Name: "gpu0", Spec: "a100-80gb"}
+	d.EnableMIG()
+	u1, _ := d.CreateInstance("3g.40gb")
+	u2, _ := d.CreateInstance("3g.40gb")
+	if err := d.DestroyInstance(u1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Instances) != 1 {
+		t.Fatalf("instances = %v", d.Instances)
+	}
+	if err := d.DestroyInstance(u2); err == nil {
+		// After destroying u1, the replay renumbers; u2's UUID may
+		// have shifted. Destroy by the current UUID instead.
+		_, ins, _ := d.Materialize()
+		if len(ins) != 1 {
+			t.Fatalf("instances = %d", len(ins))
+		}
+	} else {
+		_, ins, err := d.Materialize()
+		if err != nil || len(ins) != 1 {
+			t.Fatalf("materialize: %v (%d instances)", err, len(ins))
+		}
+		if err := d.DestroyInstance(ins[0].UUID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDisableMIGRequiresEmpty(t *testing.T) {
+	d := &DeviceState{Name: "gpu0", Spec: "a100-80gb"}
+	d.EnableMIG()
+	d.CreateInstance("1g.10gb")
+	if err := d.DisableMIG(); err == nil {
+		t.Fatal("disable with instances accepted")
+	}
+	_, ins, _ := d.Materialize()
+	d.DestroyInstance(ins[0].UUID())
+	if err := d.DisableMIG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPSLifecycleAndExclusivity(t *testing.T) {
+	d := &DeviceState{Name: "gpu0", Spec: "a100-80gb"}
+	if err := d.SetMPSDefault(50); err == nil {
+		t.Fatal("set default without daemon accepted")
+	}
+	if err := d.StartMPS(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMPSDefault(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetMPSDefault(150); err == nil {
+		t.Fatal("pct 150 accepted")
+	}
+	if err := d.EnableMIG(); err == nil {
+		t.Fatal("MIG enabled under running MPS")
+	}
+	d.QuitMPS()
+	if d.MPSDefaultPct != 0 {
+		t.Fatal("default pct survived quit")
+	}
+	if err := d.EnableMIG(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartMPS(); !errors.Is(err, simgpu.ErrMIGMode) {
+		t.Fatalf("MPS under MIG: %v", err)
+	}
+}
+
+func TestDeviceIndexRange(t *testing.T) {
+	s := Default()
+	if _, err := s.Device(5); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package endpoint models Globus Compute (formerly funcX), the
+// federated FaaS layer the paper builds on (§2.2): users register
+// functions with a cloud service, which dispatches them over the WAN
+// to user-deployed computing endpoints (a workstation, a cluster, a
+// supercomputer), each running the Parsl execution stack locally.
+//
+// All endpoints share one simulation environment; cross-site latency
+// is modelled per endpoint and charged in both directions.
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+)
+
+// ErrNoEndpoint is returned when routing finds no endpoint satisfying
+// a function's requirements.
+var ErrNoEndpoint = errors.New("endpoint: no endpoint satisfies requirements")
+
+// Endpoint is one registered computing site.
+type Endpoint struct {
+	// Name is the registry key (endpoint UUID in Globus Compute).
+	Name string
+	// DFK is the site-local Parsl DataFlowKernel.
+	DFK *faas.DFK
+	// WANLatency is the one-way cloud↔endpoint delay.
+	WANLatency time.Duration
+	// Tags describe capabilities for routing, e.g. {"gpu": "a100",
+	// "site": "anl"}.
+	Tags map[string]string
+
+	outstanding int
+	completed   int
+}
+
+// Outstanding reports tasks dispatched but not yet completed.
+func (e *Endpoint) Outstanding() int { return e.outstanding }
+
+// Completed reports finished tasks.
+func (e *Endpoint) Completed() int { return e.completed }
+
+// Function is a cloud-registered function: a body, the executor label
+// it needs on the endpoint, and capability requirements for routing.
+type Function struct {
+	Name string
+	// Executor is the endpoint-local executor label ("cpu", "gpu").
+	Executor string
+	// Requirements must be a subset of the chosen endpoint's Tags.
+	Requirements map[string]string
+	// Fn is the function body.
+	Fn faas.AppFunc
+}
+
+// Service is the cloud routing layer.
+type Service struct {
+	env       *devent.Env
+	endpoints map[string]*Endpoint
+	functions map[string]Function
+}
+
+// NewService creates an empty cloud service.
+func NewService(env *devent.Env) *Service {
+	return &Service{
+		env:       env,
+		endpoints: make(map[string]*Endpoint),
+		functions: make(map[string]Function),
+	}
+}
+
+// RegisterEndpoint adds a site; duplicate names error.
+func (s *Service) RegisterEndpoint(ep *Endpoint) error {
+	if ep.Name == "" || ep.DFK == nil {
+		return errors.New("endpoint: endpoint needs a name and a DFK")
+	}
+	if _, dup := s.endpoints[ep.Name]; dup {
+		return fmt.Errorf("endpoint: duplicate endpoint %q", ep.Name)
+	}
+	s.endpoints[ep.Name] = ep
+	return nil
+}
+
+// Endpoints returns registered endpoint names, sorted.
+func (s *Service) Endpoints() []string {
+	names := make([]string, 0, len(s.endpoints))
+	for n := range s.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterFunction records a function in the cloud registry and
+// registers its app on every endpoint DFK (Globus Compute ships the
+// serialized function to the endpoint at dispatch; registering
+// everywhere up front models the same reachability).
+func (s *Service) RegisterFunction(fn Function) error {
+	if fn.Name == "" || fn.Fn == nil {
+		return errors.New("endpoint: function needs a name and a body")
+	}
+	s.functions[fn.Name] = fn
+	for _, ep := range s.endpoints {
+		ep.DFK.Register(faas.App{Name: fn.Name, Executor: fn.Executor, Fn: fn.Fn})
+	}
+	return nil
+}
+
+// Route picks the endpoint for a function: among those whose tags
+// satisfy the requirements, the one with the fewest outstanding tasks
+// (name order breaks ties).
+func (s *Service) Route(fnName string) (*Endpoint, error) {
+	fn, ok := s.functions[fnName]
+	if !ok {
+		return nil, fmt.Errorf("endpoint: unknown function %q", fnName)
+	}
+	var best *Endpoint
+	for _, name := range s.Endpoints() {
+		ep := s.endpoints[name]
+		if !satisfies(ep.Tags, fn.Requirements) {
+			continue
+		}
+		if best == nil || ep.outstanding < best.outstanding {
+			best = ep
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: function %q wants %v", ErrNoEndpoint, fnName, fn.Requirements)
+	}
+	return best, nil
+}
+
+func satisfies(tags, reqs map[string]string) bool {
+	for k, v := range reqs {
+		if tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit routes the function (to the named endpoint, or by Route when
+// endpointName is empty), charging WAN latency on dispatch and on the
+// result path. The returned event fires with the function's return
+// value in cloud time.
+func (s *Service) Submit(endpointName, fnName string, args ...any) *devent.Event {
+	done := s.env.NewNamedEvent("cloud:" + fnName)
+	var ep *Endpoint
+	var err error
+	if endpointName != "" {
+		var ok bool
+		ep, ok = s.endpoints[endpointName]
+		if !ok {
+			err = fmt.Errorf("endpoint: unknown endpoint %q", endpointName)
+		}
+	} else {
+		ep, err = s.Route(fnName)
+	}
+	if err != nil {
+		done.Fail(err)
+		return done
+	}
+	if _, ok := s.functions[fnName]; !ok {
+		done.Fail(fmt.Errorf("endpoint: unknown function %q", fnName))
+		return done
+	}
+	ep.outstanding++
+	s.env.Schedule(ep.WANLatency, func() {
+		fut := ep.DFK.Submit(fnName, args...)
+		fut.Event().OnFire(func(ev *devent.Event) {
+			s.env.Schedule(ep.WANLatency, func() {
+				ep.outstanding--
+				ep.completed++
+				if ev.Err() != nil {
+					done.Fail(ev.Err())
+					return
+				}
+				done.Fire(ev.Value())
+			})
+		})
+	})
+	return done
+}

@@ -1,0 +1,239 @@
+package endpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/faas/htex"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+// site builds one endpoint: a node with optional GPU, cpu (+gpu)
+// executors, a started DFK.
+func site(t *testing.T, env *devent.Env, name string, wan time.Duration, gpu bool, tags map[string]string) *Endpoint {
+	t.Helper()
+	var devs []*simgpu.Device
+	if gpu {
+		d, err := simgpu.NewDevice(env, name+"-gpu0", simgpu.A100SXM480GB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	node := gpuctl.NewNode(env, devs...)
+	local := provider.NewLocal(env, node)
+	execs := []faas.Executor{}
+	cpu, err := htex.New(env, htex.Config{Label: "cpu", MaxWorkers: 4, Provider: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs = append(execs, cpu)
+	if gpu {
+		g, err := htex.New(env, htex.Config{Label: "gpu", AvailableAccelerators: []string{"0"}, Provider: local})
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, g)
+	}
+	dfk := faas.NewDFK(env, faas.Config{}, execs...)
+	if err := dfk.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &Endpoint{Name: name, DFK: dfk, WANLatency: wan, Tags: tags}
+}
+
+func TestDispatchWithWANLatency(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	ep := site(t, env, "laptop", 100*time.Millisecond, false, nil)
+	if err := svc.RegisterEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterFunction(Function{Name: "add", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(time.Second)
+		return inv.Arg(0).(int) + inv.Arg(1).(int), nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	var at time.Duration
+	env.Spawn("client", func(p *devent.Proc) {
+		v, err := p.Wait(svc.Submit("laptop", "add", 2, 3))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, at = v, p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("got %v", got)
+	}
+	// 100 ms out + 1 s compute + 100 ms back.
+	if at != 1200*time.Millisecond {
+		t.Fatalf("completed at %v", at)
+	}
+	if ep.Completed() != 1 || ep.Outstanding() != 0 {
+		t.Fatalf("accounting: %d/%d", ep.Completed(), ep.Outstanding())
+	}
+}
+
+func TestRoutingByRequirements(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	svc.RegisterEndpoint(site(t, env, "laptop", 0, false, map[string]string{"kind": "laptop"}))
+	svc.RegisterEndpoint(site(t, env, "cluster", 0, true, map[string]string{"kind": "cluster", "gpu": "a100"}))
+	svc.RegisterFunction(Function{
+		Name: "train", Executor: "gpu",
+		Requirements: map[string]string{"gpu": "a100"},
+		Fn: func(inv *faas.Invocation) (any, error) {
+			if _, err := inv.GPU(); err != nil {
+				return nil, err
+			}
+			return "trained", nil
+		},
+	})
+	var worker string
+	env.Spawn("client", func(p *devent.Proc) {
+		ep, err := svc.Route("train")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		worker = ep.Name
+		if v, err := p.Wait(svc.Submit("", "train")); err != nil || v != "trained" {
+			t.Errorf("v=%v err=%v", v, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if worker != "cluster" {
+		t.Fatalf("routed to %s", worker)
+	}
+}
+
+func TestRoutingNoMatch(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	svc.RegisterEndpoint(site(t, env, "laptop", 0, false, nil))
+	svc.RegisterFunction(Function{Name: "gpu-fn", Executor: "gpu",
+		Requirements: map[string]string{"gpu": "a100"},
+		Fn:           func(*faas.Invocation) (any, error) { return nil, nil }})
+	if _, err := svc.Route("gpu-fn"); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	// Submit with empty endpoint fails the future the same way.
+	var got error
+	env.Spawn("client", func(p *devent.Proc) {
+		_, got = p.Wait(svc.Submit("", "gpu-fn"))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got, ErrNoEndpoint) {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestLeastLoadedBalancing(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	a := site(t, env, "a", 0, false, map[string]string{"pool": "x"})
+	b := site(t, env, "b", 0, false, map[string]string{"pool": "x"})
+	svc.RegisterEndpoint(a)
+	svc.RegisterEndpoint(b)
+	svc.RegisterFunction(Function{Name: "work", Executor: "cpu",
+		Requirements: map[string]string{"pool": "x"},
+		Fn: func(inv *faas.Invocation) (any, error) {
+			inv.Compute(time.Second)
+			return nil, nil
+		}})
+	env.Spawn("client", func(p *devent.Proc) {
+		evs := make([]*devent.Event, 8)
+		for i := range evs {
+			evs[i] = svc.Submit("", "work")
+		}
+		p.Wait(devent.AllOf(env, evs...))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed() != 4 || b.Completed() != 4 {
+		t.Fatalf("balance: a=%d b=%d", a.Completed(), b.Completed())
+	}
+}
+
+func TestErrorsPropagateAcrossWAN(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	svc.RegisterEndpoint(site(t, env, "laptop", 50*time.Millisecond, false, nil))
+	boom := errors.New("remote boom")
+	svc.RegisterFunction(Function{Name: "bad", Executor: "cpu",
+		Fn: func(*faas.Invocation) (any, error) { return nil, boom }})
+	var got error
+	env.Spawn("client", func(p *devent.Proc) {
+		_, got = p.Wait(svc.Submit("laptop", "bad"))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got, boom) {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	if err := svc.RegisterEndpoint(&Endpoint{}); err == nil {
+		t.Error("empty endpoint accepted")
+	}
+	ep := site(t, env, "x", 0, false, nil)
+	svc.RegisterEndpoint(ep)
+	if err := svc.RegisterEndpoint(ep); err == nil {
+		t.Error("duplicate endpoint accepted")
+	}
+	if err := svc.RegisterFunction(Function{}); err == nil {
+		t.Error("empty function accepted")
+	}
+	var unknownFn, unknownEp error
+	env.Spawn("client", func(p *devent.Proc) {
+		_, unknownFn = p.Wait(svc.Submit("x", "ghost"))
+		_, unknownEp = p.Wait(svc.Submit("ghost-ep", "ghost"))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if unknownFn == nil || unknownEp == nil {
+		t.Error("unknown function/endpoint not rejected")
+	}
+}
+
+// Functions registered after endpoints still reach every endpoint.
+func TestLateFunctionRegistration(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	svc.RegisterEndpoint(site(t, env, "a", 0, false, nil))
+	svc.RegisterEndpoint(site(t, env, "b", 0, false, nil))
+	svc.RegisterFunction(Function{Name: "hello", Executor: "cpu",
+		Fn: func(*faas.Invocation) (any, error) { return "hi", nil }})
+	for _, epName := range []string{"a", "b"} {
+		epName := epName
+		env.Spawn("client", func(p *devent.Proc) {
+			if v, err := p.Wait(svc.Submit(epName, "hello")); err != nil || v != "hi" {
+				t.Errorf("%s: v=%v err=%v", epName, v, err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package faas
+
+import (
+	"fmt"
+
+	"repro/internal/devent"
+)
+
+// DFK is the DataFlowKernel: it owns the app registry and executors,
+// resolves future-valued arguments, dispatches tasks, retries
+// failures, and feeds monitoring hooks.
+type DFK struct {
+	env       *devent.Env
+	cfg       Config
+	executors map[string]Executor
+	apps      map[string]App
+	tasks     []*Task
+	hooks     []func(TaskEvent)
+	nextID    int
+	started   bool
+}
+
+// NewDFK creates a DataFlowKernel over the given executors.
+func NewDFK(env *devent.Env, cfg Config, executors ...Executor) *DFK {
+	d := &DFK{
+		env:       env,
+		cfg:       cfg,
+		executors: make(map[string]Executor),
+		apps:      make(map[string]App),
+	}
+	for _, ex := range executors {
+		d.executors[ex.Label()] = ex
+		if m, ok := ex.(monitored); ok {
+			m.SetMonitor(d.emit)
+		}
+	}
+	return d
+}
+
+// monitored is implemented by executors that report task status
+// transitions (running) back to the DFK's monitoring hooks.
+type monitored interface{ SetMonitor(func(*Task)) }
+
+// Env returns the simulation environment.
+func (d *DFK) Env() *devent.Env { return d.env }
+
+// AddExecutor registers (or replaces) an executor after construction;
+// if the DFK is already started, the executor is started too. Used by
+// reconfiguration flows that rebuild the GPU executor with a new
+// partitioning.
+func (d *DFK) AddExecutor(ex Executor) error {
+	d.executors[ex.Label()] = ex
+	if m, ok := ex.(monitored); ok {
+		m.SetMonitor(d.emit)
+	}
+	if d.started {
+		return ex.Start()
+	}
+	return nil
+}
+
+// Executor returns the executor with the given label (nil if absent).
+func (d *DFK) Executor(label string) Executor { return d.executors[label] }
+
+// Register adds an app to the registry; re-registering a name
+// replaces it.
+func (d *DFK) Register(app App) {
+	d.apps[app.Name] = app
+}
+
+// OnTaskEvent installs a monitoring hook invoked at each task status
+// change (the analogue of Parsl's monitoring DB).
+func (d *DFK) OnTaskEvent(fn func(TaskEvent)) {
+	d.hooks = append(d.hooks, fn)
+}
+
+func (d *DFK) emit(t *Task) {
+	ev := TaskEvent{Task: t, Status: t.Status, At: d.env.Now()}
+	for _, h := range d.hooks {
+		h(ev)
+	}
+}
+
+// Start launches all executors (provider blocks, workers).
+func (d *DFK) Start() error {
+	if d.started {
+		return nil
+	}
+	for _, ex := range d.executors {
+		if err := ex.Start(); err != nil {
+			return err
+		}
+	}
+	d.started = true
+	return nil
+}
+
+// Shutdown stops all executors.
+func (d *DFK) Shutdown() {
+	for _, ex := range d.executors {
+		ex.Shutdown()
+	}
+	d.started = false
+}
+
+// Tasks returns all task records in submission order.
+func (d *DFK) Tasks() []*Task { return append([]*Task(nil), d.tasks...) }
+
+// Submit schedules an app invocation. Arguments that are *Future
+// values are awaited and replaced by their results before dispatch; if
+// any fails, the task fails with ErrDependency without dispatching.
+// Failed tasks are retried up to Config.Retries times.
+func (d *DFK) Submit(appName string, args ...any) *Future {
+	d.nextID++
+	task := &Task{
+		ID:         d.nextID,
+		App:        appName,
+		Status:     TaskPending,
+		SubmitTime: d.env.Now(),
+	}
+	d.tasks = append(d.tasks, task)
+	done := d.env.NewNamedEvent(fmt.Sprintf("task-%d", task.ID))
+	fut := NewFuture(task, done)
+
+	app, ok := d.apps[appName]
+	if !ok {
+		task.Status = TaskFailed
+		task.Err = fmt.Errorf("faas: unknown app %q", appName)
+		task.EndTime = d.env.Now()
+		d.emit(task)
+		done.Fail(task.Err)
+		return fut
+	}
+	task.Executor = app.Executor
+	ex, ok := d.executors[app.Executor]
+	if !ok {
+		task.Status = TaskFailed
+		task.Err = fmt.Errorf("%w: %q (app %q)", ErrNoExecutor, app.Executor, appName)
+		task.EndTime = d.env.Now()
+		d.emit(task)
+		done.Fail(task.Err)
+		return fut
+	}
+	d.emit(task)
+
+	d.env.Spawn("dfk-launch", func(p *devent.Proc) {
+		resolved, err := d.resolveArgs(p, args)
+		if err != nil {
+			task.Status = TaskFailed
+			task.Err = fmt.Errorf("%w: %v", ErrDependency, err)
+			task.EndTime = d.env.Now()
+			d.emit(task)
+			done.Fail(task.Err)
+			return
+		}
+		var result any
+		for try := 0; ; try++ {
+			task.Tries = try + 1
+			task.Status = TaskLaunched
+			task.DispatchTime = d.env.Now()
+			d.emit(task)
+			result, err = func() (any, error) {
+				ev := ex.Submit(task, app, resolved)
+				return p.Wait(ev)
+			}()
+			if err == nil || try >= d.cfg.Retries {
+				break
+			}
+		}
+		if err != nil {
+			task.Status = TaskFailed
+			task.Err = err
+			d.emit(task)
+			done.Fail(err)
+			return
+		}
+		task.Status = TaskDone
+		d.emit(task)
+		done.Fire(result)
+	})
+	return fut
+}
+
+// resolveArgs waits for future-valued arguments and substitutes their
+// results.
+func (d *DFK) resolveArgs(p *devent.Proc, args []any) ([]any, error) {
+	resolved := make([]any, len(args))
+	for i, a := range args {
+		if fut, ok := a.(*Future); ok {
+			v, err := fut.Result(p)
+			if err != nil {
+				return nil, err
+			}
+			resolved[i] = v
+			continue
+		}
+		resolved[i] = a
+	}
+	return resolved, nil
+}

@@ -1,0 +1,238 @@
+// Package faas is a Parsl-like function-as-a-service runtime running
+// on the devent simulation kernel.
+//
+// The shape mirrors Parsl (§2.2 of the paper): users register apps
+// (functions), submit them through a DataFlowKernel that resolves
+// future-valued arguments and retries failures, and execution happens
+// on pluggable executors — a pilot-job HighThroughputExecutor with
+// per-worker accelerator pinning (package htex) or a thread-pool
+// executor. The paper's contribution, fine-grained GPU partitioning,
+// enters through the executor configuration: the accelerator list may
+// repeat devices and carry per-entry GPU percentages or name MIG
+// instances by UUID (Listings 2 and 3).
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/simgpu"
+)
+
+// ErrNoExecutor is returned when a submitted app names an unknown
+// executor label.
+var ErrNoExecutor = errors.New("faas: no such executor")
+
+// ErrDependency is returned for tasks whose future-valued arguments
+// failed.
+var ErrDependency = errors.New("faas: dependency failed")
+
+// ErrShutdown is returned for tasks aborted by executor shutdown.
+var ErrShutdown = errors.New("faas: executor shut down")
+
+// AppFunc is the body of an app. It runs inside a worker and receives
+// the invocation context.
+type AppFunc func(inv *Invocation) (any, error)
+
+// App is a registered function (a Parsl "app").
+type App struct {
+	// Name is the registry key.
+	Name string
+	// Executor is the label of the executor that runs this app.
+	Executor string
+	// Fn is the function body.
+	Fn AppFunc
+}
+
+// TaskStatus tracks a task through its lifecycle.
+type TaskStatus int
+
+// Task lifecycle states.
+const (
+	TaskPending TaskStatus = iota
+	TaskLaunched
+	TaskRunning
+	TaskDone
+	TaskFailed
+)
+
+// String implements fmt.Stringer.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskPending:
+		return "pending"
+	case TaskLaunched:
+		return "launched"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Task is the record of one app invocation.
+type Task struct {
+	ID       int
+	App      string
+	Executor string
+	Status   TaskStatus
+	Tries    int
+	Err      error
+
+	SubmitTime   time.Duration
+	DispatchTime time.Duration
+	StartTime    time.Duration
+	EndTime      time.Duration
+	Worker       string
+}
+
+// QueueDelay is the time from submission to execution start.
+func (t *Task) QueueDelay() time.Duration { return t.StartTime - t.SubmitTime }
+
+// RunTime is the execution duration.
+func (t *Task) RunTime() time.Duration { return t.EndTime - t.StartTime }
+
+// Invocation is the context an app body receives: the simulated
+// process, resolved arguments, the worker's accelerator binding, and
+// per-worker state that persists across invocations (the warm
+// container).
+type Invocation struct {
+	proc   *devent.Proc
+	task   *Task
+	args   []any
+	env    map[string]string
+	worker WorkerHandle
+}
+
+// NewInvocation assembles an invocation context; it is exported for
+// executor implementations.
+func NewInvocation(p *devent.Proc, task *Task, args []any, env map[string]string, w WorkerHandle) *Invocation {
+	return &Invocation{proc: p, task: task, args: args, env: env, worker: w}
+}
+
+// Proc returns the simulated process running the invocation.
+func (inv *Invocation) Proc() *devent.Proc { return inv.proc }
+
+// Task returns the task record.
+func (inv *Invocation) Task() *Task { return inv.task }
+
+// Args returns the resolved positional arguments.
+func (inv *Invocation) Args() []any { return inv.args }
+
+// Arg returns argument i (nil when out of range).
+func (inv *Invocation) Arg(i int) any {
+	if i < 0 || i >= len(inv.args) {
+		return nil
+	}
+	return inv.args[i]
+}
+
+// Env returns the worker's environment (CUDA_VISIBLE_DEVICES etc.).
+func (inv *Invocation) Env() map[string]string { return inv.env }
+
+// Compute blocks for d of simulated CPU work.
+func (inv *Invocation) Compute(d time.Duration) { inv.proc.Sleep(d) }
+
+// GPU returns the worker's GPU context, creating it on first use (the
+// cold-start component "GPU context initialization", §6). Apps on
+// workers without an accelerator binding get an error.
+func (inv *Invocation) GPU() (*simgpu.Context, error) {
+	if inv.worker == nil {
+		return nil, errors.New("faas: invocation has no worker GPU binding")
+	}
+	return inv.worker.GPUContext(inv.proc)
+}
+
+// State returns the worker-local cache that survives across
+// invocations on the same worker (model weights, engines, ...).
+func (inv *Invocation) State() map[string]any {
+	if inv.worker == nil {
+		return map[string]any{}
+	}
+	return inv.worker.State()
+}
+
+// WorkerName identifies the executing worker (for traces).
+func (inv *Invocation) WorkerName() string {
+	if inv.worker == nil {
+		return ""
+	}
+	return inv.worker.Name()
+}
+
+// WorkerHandle is what executors expose to invocations: lazy GPU
+// context creation and warm per-worker state.
+type WorkerHandle interface {
+	Name() string
+	GPUContext(p *devent.Proc) (*simgpu.Context, error)
+	State() map[string]any
+}
+
+// Future is the handle returned by Submit; it fires when the task
+// completes (with its return value) or fails.
+type Future struct {
+	task *Task
+	done *devent.Event
+}
+
+// NewFuture pairs a task with its completion event (used by the DFK).
+func NewFuture(task *Task, done *devent.Event) *Future {
+	return &Future{task: task, done: done}
+}
+
+// Task returns the underlying task record.
+func (f *Future) Task() *Task { return f.task }
+
+// Event returns the completion event (for AnyOf/AllOf composition).
+func (f *Future) Event() *devent.Event { return f.done }
+
+// Done reports whether the task has completed.
+func (f *Future) Done() bool { return f.done.Fired() }
+
+// Result blocks until completion and returns the app's return value.
+func (f *Future) Result(p *devent.Proc) (any, error) {
+	return p.Wait(f.done)
+}
+
+// Executor runs tasks. Implementations live in subpackages.
+type Executor interface {
+	// Label is the registry key used by App.Executor.
+	Label() string
+	// Start launches the executor's infrastructure (blocks, workers).
+	Start() error
+	// Submit queues a task; the returned event fires with the app's
+	// return value or fails with its error.
+	Submit(task *Task, app App, args []any) *devent.Event
+	// Shutdown stops workers; queued tasks fail with ErrShutdown.
+	Shutdown()
+	// Workers reports the current worker count (for tests/monitoring).
+	Workers() int
+}
+
+// TaskEvent is emitted to monitoring hooks at each status change.
+type TaskEvent struct {
+	Task   *Task
+	Status TaskStatus
+	At     time.Duration
+}
+
+// Config carries DFK-wide settings (mirrors Parsl's Config object,
+// Listing 1).
+type Config struct {
+	// RunDir is a label for the run (kept for config parity; the
+	// simulator does not write logs to disk).
+	RunDir string
+	// Retries is how many times a failed task is retried before its
+	// future fails (Parsl's retries=1 in Listing 1).
+	Retries int
+}
+
+// String renders the config compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("Config{RunDir:%q Retries:%d}", c.RunDir, c.Retries)
+}

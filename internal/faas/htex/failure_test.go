@@ -1,0 +1,149 @@
+package htex
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+)
+
+// A worker crash mid-task fails the task with ErrWorkerLost; with
+// Retries=1 the DFK re-dispatches it to the surviving worker and the
+// future still succeeds.
+func TestWorkerCrashRetriesOnSurvivor(t *testing.T) {
+	r := newRig(t, 1)
+	ex, err := New(r.env, Config{
+		Label:                 "gpu",
+		AvailableAccelerators: []string{"0", "0"},
+		Provider:              r.local(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := faas.NewDFK(r.env, faas.Config{Retries: 1}, ex)
+	var runs []string
+	d.Register(faas.App{Name: "slow", Executor: "gpu", Fn: func(inv *faas.Invocation) (any, error) {
+		if _, err := inv.GPU(); err != nil {
+			return nil, err
+		}
+		runs = append(runs, inv.WorkerName())
+		inv.Compute(10 * time.Second)
+		return "done", nil
+	}})
+	d.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		fut := d.Submit("slow")
+		p.Sleep(2 * time.Second) // task is running on some worker
+		victim := fut.Task().Worker
+		if victim == "" {
+			t.Error("task not started")
+			return
+		}
+		if !ex.KillWorker(victim) {
+			t.Errorf("kill %q failed", victim)
+			return
+		}
+		v, err := fut.Result(p)
+		if err != nil || v != "done" {
+			t.Errorf("v=%v err=%v", v, err)
+			return
+		}
+		if fut.Task().Tries != 2 {
+			t.Errorf("tries = %d", fut.Task().Tries)
+		}
+		if fut.Task().Worker == victim {
+			t.Errorf("retry landed on the dead worker %q", victim)
+		}
+	})
+	r.run(t)
+	if len(runs) != 2 || runs[0] == runs[1] {
+		t.Fatalf("runs = %v", runs)
+	}
+	if ex.Workers() != 1 {
+		t.Fatalf("workers after crash = %d", ex.Workers())
+	}
+	// The dead worker's GPU context is gone; the survivor's remains.
+	if got := r.devs[0].Contexts(); got != 1 {
+		t.Fatalf("device contexts = %d", got)
+	}
+}
+
+// Without retries the crash surfaces as ErrWorkerLost.
+func TestWorkerCrashWithoutRetries(t *testing.T) {
+	r := newRig(t, 0)
+	ex, _ := New(r.env, Config{Label: "cpu", MaxWorkers: 1, Provider: r.local()})
+	d := faas.NewDFK(r.env, faas.Config{}, ex)
+	d.Register(faas.App{Name: "slow", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(10 * time.Second)
+		return nil, nil
+	}})
+	d.Start()
+	var got error
+	r.env.Spawn("main", func(p *devent.Proc) {
+		fut := d.Submit("slow")
+		p.Sleep(time.Second)
+		ex.KillWorker(fut.Task().Worker)
+		_, got = fut.Result(p)
+	})
+	r.run(t)
+	if !errors.Is(got, ErrWorkerLost) {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+// Killing an idle worker shrinks the pool without affecting tasks.
+func TestKillIdleWorker(t *testing.T) {
+	r := newRig(t, 0)
+	ex, _ := New(r.env, Config{Label: "cpu", MaxWorkers: 2, Provider: r.local()})
+	d := faas.NewDFK(r.env, faas.Config{}, ex)
+	d.Register(faas.App{Name: "fn", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(time.Second)
+		return "ok", nil
+	}})
+	d.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		p.Sleep(time.Second) // let workers start
+		names := ex.WorkerNames()
+		if len(names) != 2 {
+			t.Errorf("names = %v", names)
+			return
+		}
+		if !ex.KillWorker(names[0]) {
+			t.Error("kill failed")
+			return
+		}
+		p.Sleep(time.Second)
+		if ex.Workers() != 1 {
+			t.Errorf("workers = %d", ex.Workers())
+		}
+		if v, err := d.Submit("fn").Result(p); err != nil || v != "ok" {
+			t.Errorf("v=%v err=%v", v, err)
+		}
+	})
+	r.run(t)
+}
+
+// Killing an unknown worker reports false; double-kill reports false.
+func TestKillWorkerBookkeeping(t *testing.T) {
+	r := newRig(t, 0)
+	ex, _ := New(r.env, Config{Label: "cpu", MaxWorkers: 1, Provider: r.local()})
+	d := faas.NewDFK(r.env, faas.Config{}, ex)
+	d.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		p.Sleep(time.Second)
+		if ex.KillWorker("ghost") {
+			t.Error("killed a ghost")
+		}
+		name := ex.WorkerNames()[0]
+		if !ex.KillWorker(name) {
+			t.Error("first kill failed")
+		}
+		p.Sleep(time.Second)
+		if ex.KillWorker(name) {
+			t.Error("double kill succeeded")
+		}
+	})
+	r.run(t)
+}

@@ -1,0 +1,383 @@
+// Package htex implements the HighThroughputExecutor: Parsl's
+// pilot-job executor, extended per the paper's §4 with fine-grained
+// GPU partitioning. Workers are pinned one-to-one to entries of
+// AvailableAccelerators; listing a GPU more than once multiplexes it,
+// and each entry may carry a GPU percentage (MPS) or be a MIG UUID.
+// The binding is applied as environment variables before the worker
+// starts, exactly the mechanism the paper adds to Parsl (Listing 2).
+package htex
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+	"repro/internal/simgpu"
+)
+
+// Config mirrors the paper's extended HighThroughputExecutor
+// configuration (Listings 1–3).
+type Config struct {
+	// Label names the executor ("cpu", "gpu").
+	Label string
+	// MaxWorkers is the per-node worker count when no accelerators are
+	// configured (CPU executor).
+	MaxWorkers int
+	// AvailableAccelerators lists accelerator references, one worker
+	// per entry: device indices ("0"), repeated indices to multiplex,
+	// or MIG UUIDs. (Listing 2: ['1','2','4']; Listing 3 uses MIG
+	// UUIDs.)
+	AvailableAccelerators []string
+	// GPUPercentages is the paper's extension: a per-entry MPS GPU
+	// percentage aligned with AvailableAccelerators (Listing 2:
+	// [50, 25, 30]). Empty means no caps; otherwise the lengths must
+	// match.
+	GPUPercentages []int
+	// WorkerInit is the function-initialization cold-start component
+	// (§6: download, decompression, interpreter start).
+	WorkerInit time.Duration
+	// Provider supplies nodes; Blocks is how many to request
+	// (default 1).
+	Provider provider.Provider
+	Blocks   int
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.Label == "" {
+		return fmt.Errorf("htex: empty label")
+	}
+	if c.Provider == nil {
+		return fmt.Errorf("htex: executor %q needs a provider", c.Label)
+	}
+	if len(c.GPUPercentages) > 0 && len(c.GPUPercentages) != len(c.AvailableAccelerators) {
+		return fmt.Errorf("htex: executor %q: %d GPU percentages for %d accelerators",
+			c.Label, len(c.GPUPercentages), len(c.AvailableAccelerators))
+	}
+	for _, pct := range c.GPUPercentages {
+		if pct < 0 || pct > 100 {
+			return fmt.Errorf("htex: GPU percentage %d out of range", pct)
+		}
+	}
+	if len(c.AvailableAccelerators) == 0 && c.MaxWorkers <= 0 {
+		return fmt.Errorf("htex: executor %q has no workers", c.Label)
+	}
+	return nil
+}
+
+// Bindings derives the per-worker accelerator bindings — the env-var
+// assembly the paper adds to Parsl's executor.
+func (c Config) Bindings() []gpuctl.Binding {
+	out := make([]gpuctl.Binding, len(c.AvailableAccelerators))
+	for i, acc := range c.AvailableAccelerators {
+		b := gpuctl.Binding{Accelerator: acc}
+		if len(c.GPUPercentages) > 0 {
+			b.GPUPercent = c.GPUPercentages[i]
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// ErrWorkerLost fails a task whose worker crashed mid-execution; the
+// DFK's retry policy re-dispatches it to a surviving worker.
+var ErrWorkerLost = errors.New("htex: worker lost")
+
+// submission is one queued task.
+type submission struct {
+	task *faas.Task
+	app  faas.App
+	args []any
+	done *devent.Event
+}
+
+// HTEX is the executor. Create with New, register with a DFK, Start
+// to provision workers.
+type HTEX struct {
+	env      *devent.Env
+	cfg      Config
+	queue    *devent.Chan[*submission]
+	shutdown *devent.Event
+	workers  []*worker
+	procs    []*devent.Proc
+	monitor  func(*faas.Task)
+	started  bool
+	gen      int
+}
+
+// New creates the executor; Validate errors surface here.
+func New(env *devent.Env, cfg Config) (*HTEX, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 1
+	}
+	return &HTEX{
+		env:   env,
+		cfg:   cfg,
+		queue: devent.NewChan[*submission](env, 1<<20),
+	}, nil
+}
+
+// Label implements faas.Executor.
+func (h *HTEX) Label() string { return h.cfg.Label }
+
+// Config returns the executor configuration.
+func (h *HTEX) Config() Config { return h.cfg }
+
+// SetMonitor installs the DFK's task-status hook.
+func (h *HTEX) SetMonitor(fn func(*faas.Task)) { h.monitor = fn }
+
+// Workers implements faas.Executor.
+func (h *HTEX) Workers() int { return len(h.workers) }
+
+// Start implements faas.Executor: provision blocks from the provider
+// and launch one worker proc per accelerator entry (or MaxWorkers CPU
+// workers) per block.
+func (h *HTEX) Start() error {
+	if h.started {
+		return nil
+	}
+	h.started = true
+	h.shutdown = h.env.NewNamedEvent("htex-shutdown:" + h.cfg.Label)
+	h.gen++
+	gen := h.gen
+	h.env.Spawn("htex-start:"+h.cfg.Label, func(p *devent.Proc) {
+		v, err := p.Wait(h.cfg.Provider.Provision(h.cfg.Blocks))
+		if err != nil {
+			h.env.Fail(fmt.Errorf("htex %q: provision: %w", h.cfg.Label, err))
+			return
+		}
+		if h.gen != gen || !h.started {
+			return // shut down while provisioning
+		}
+		nodes := v.([]*gpuctl.Node)
+		for bi, node := range nodes {
+			bindings := h.cfg.Bindings()
+			n := len(bindings)
+			if n == 0 {
+				n = h.cfg.MaxWorkers
+			}
+			for wi := 0; wi < n; wi++ {
+				w := &worker{
+					name:  fmt.Sprintf("%s/block%d/worker%d", h.cfg.Label, bi, wi),
+					node:  node,
+					state: make(map[string]any),
+					env:   map[string]string{},
+				}
+				if len(bindings) > 0 {
+					w.binding = bindings[wi]
+					w.env = bindings[wi].Environ()
+				}
+				h.workers = append(h.workers, w)
+				wp := h.env.Spawn(w.name, func(wp *devent.Proc) {
+					h.workerLoop(wp, w)
+				})
+				wp.SetDaemon(true) // idle workers are not deadlocks
+				h.procs = append(h.procs, wp)
+			}
+		}
+	})
+	return nil
+}
+
+func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
+	w.kill = h.env.NewNamedEvent("kill:" + w.name)
+	cleanup := func() {
+		if w.gpu != nil && !w.gpu.Destroyed() {
+			w.gpu.Destroy()
+			w.gpu = nil
+		}
+	}
+	defer cleanup()
+	if h.cfg.WorkerInit > 0 {
+		p.Sleep(h.cfg.WorkerInit) // function initialization (§6)
+	}
+	w.ready = true
+	for {
+		sub, ok, cancelled := h.queue.RecvOr(p, devent.AnyOf(h.env, h.shutdown, w.kill))
+		if cancelled || !ok {
+			if w.kill.Fired() {
+				h.removeWorker(w)
+			}
+			return
+		}
+		t := sub.task
+		t.Status = faas.TaskRunning
+		t.StartTime = p.Now()
+		t.Worker = w.name
+		if h.monitor != nil {
+			h.monitor(t)
+		}
+		// Run the task body in its own proc so a worker crash
+		// (KillWorker) can abandon it: the orphaned body keeps no
+		// resources once the GPU context is destroyed.
+		taskDone := h.env.NewNamedEvent("task:" + w.name)
+		body := h.env.Spawn(w.name+"/task", func(tp *devent.Proc) {
+			result, err := sub.app.Fn(faas.NewInvocation(tp, t, sub.args, w.env, w))
+			if taskDone.Fired() {
+				return // worker already declared lost
+			}
+			if err != nil {
+				taskDone.Fail(err)
+			} else {
+				taskDone.Fire(result)
+			}
+		})
+		body.SetDaemon(true)
+		v, err := p.Wait(devent.AnyOf(h.env, taskDone, w.kill))
+		if err == nil && v.(*devent.Event) == w.kill {
+			// Crash: abandon the body, abort its kernels, fail the
+			// task so the DFK can retry elsewhere.
+			t.EndTime = p.Now()
+			cleanup()
+			if !taskDone.Fired() {
+				taskDone.Fail(ErrWorkerLost)
+			}
+			sub.done.Fail(fmt.Errorf("%w: %s", ErrWorkerLost, w.name))
+			h.removeWorker(w)
+			return
+		}
+		t.EndTime = p.Now()
+		if taskDone.Err() != nil {
+			sub.done.Fail(taskDone.Err())
+		} else {
+			sub.done.Fire(taskDone.Value())
+		}
+	}
+}
+
+// KillWorker simulates a worker-process crash (OOM kill, node fault):
+// its in-flight task fails with ErrWorkerLost (retriable), its GPU
+// context is destroyed, and the worker leaves the pool. It reports
+// whether a worker with that name existed.
+func (h *HTEX) KillWorker(name string) bool {
+	for _, w := range h.workers {
+		if w.name == name && w.kill != nil && !w.kill.Fired() {
+			w.kill.Fire(nil)
+			return true
+		}
+	}
+	return false
+}
+
+// WorkerNames lists the live workers.
+func (h *HTEX) WorkerNames() []string {
+	names := make([]string, 0, len(h.workers))
+	for _, w := range h.workers {
+		names = append(names, w.name)
+	}
+	return names
+}
+
+func (h *HTEX) removeWorker(w *worker) {
+	for i, x := range h.workers {
+		if x == w {
+			h.workers = append(h.workers[:i], h.workers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Submit implements faas.Executor.
+func (h *HTEX) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
+	done := h.env.NewNamedEvent(fmt.Sprintf("htex-%s-task-%d", h.cfg.Label, task.ID))
+	sub := &submission{task: task, app: app, args: args, done: done}
+	if !h.started {
+		done.Fail(faas.ErrShutdown)
+		return done
+	}
+	if !h.queue.TrySend(sub) {
+		done.Fail(fmt.Errorf("htex %q: queue full", h.cfg.Label))
+	}
+	return done
+}
+
+// Shutdown implements faas.Executor: running tasks finish, idle
+// workers exit and destroy their GPU contexts, queued submissions
+// fail with ErrShutdown.
+func (h *HTEX) Shutdown() {
+	if !h.started {
+		return
+	}
+	h.started = false
+	h.shutdown.Fire(nil)
+	for {
+		sub, ok := h.queue.TryRecv()
+		if !ok {
+			break
+		}
+		sub.done.Fail(faas.ErrShutdown)
+	}
+	h.workers = nil
+}
+
+// ShutdownAndWait shuts down and blocks until every worker proc has
+// exited (and thus destroyed its GPU context) — required before
+// repartitioning a GPU, since MPS percentages and MIG layouts can only
+// change once client processes are gone (§6).
+func (h *HTEX) ShutdownAndWait(p *devent.Proc) {
+	procs := h.procs
+	h.procs = nil
+	h.Shutdown()
+	for _, wp := range procs {
+		p.Wait(wp.Done())
+	}
+}
+
+// Restart reconfigures the accelerator partitioning and starts fresh
+// workers: the paper's MPS/MIG re-partition path, which requires full
+// process restart and re-pays every cold-start component.
+func (h *HTEX) Restart(p *devent.Proc, accelerators []string, percentages []int) error {
+	h.ShutdownAndWait(p)
+	cfg := h.cfg
+	cfg.AvailableAccelerators = accelerators
+	cfg.GPUPercentages = percentages
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	h.cfg = cfg
+	h.queue = devent.NewChan[*submission](h.env, 1<<20)
+	return h.Start()
+}
+
+// worker is one pilot-job worker process.
+type worker struct {
+	name    string
+	node    *gpuctl.Node
+	binding gpuctl.Binding
+	env     map[string]string
+	gpu     *simgpu.Context
+	state   map[string]any
+	kill    *devent.Event
+	ready   bool
+}
+
+// Name implements faas.WorkerHandle.
+func (w *worker) Name() string { return w.name }
+
+// State implements faas.WorkerHandle.
+func (w *worker) State() map[string]any { return w.state }
+
+// GPUContext implements faas.WorkerHandle: the context is created on
+// first use via the node's CUDA bring-up path (paying context init)
+// and stays warm for subsequent invocations on this worker.
+func (w *worker) GPUContext(p *devent.Proc) (*simgpu.Context, error) {
+	if w.gpu != nil && !w.gpu.Destroyed() {
+		return w.gpu, nil
+	}
+	ctx, err := w.node.OpenContext(p, w.name, w.env)
+	if err != nil {
+		return nil, err
+	}
+	w.gpu = ctx
+	return ctx, nil
+}
+
+var _ faas.Executor = (*HTEX)(nil)
+var _ faas.WorkerHandle = (*worker)(nil)

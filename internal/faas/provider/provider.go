@@ -1,0 +1,90 @@
+// Package provider supplies compute blocks (nodes) to executors,
+// mirroring Parsl's execution providers (§2.2.1): the LocalProvider
+// hands out the local machine immediately, while the SlurmProvider
+// models a batch queue that grants nodes after a queue delay.
+package provider
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/gpuctl"
+)
+
+// Provider grants compute nodes to an executor.
+type Provider interface {
+	// Name identifies the provider ("local", "slurm").
+	Name() string
+	// Provision requests n nodes. The returned event fires with
+	// []*gpuctl.Node once granted, or fails if the request cannot be
+	// satisfied.
+	Provision(n int) *devent.Event
+}
+
+// LocalProvider provisions the local node, as the paper's testbed
+// configuration does (Listing 1 uses Parsl's LocalProvider).
+type LocalProvider struct {
+	env  *devent.Env
+	node *gpuctl.Node
+}
+
+// NewLocal wraps the local node.
+func NewLocal(env *devent.Env, node *gpuctl.Node) *LocalProvider {
+	return &LocalProvider{env: env, node: node}
+}
+
+// Name implements Provider.
+func (l *LocalProvider) Name() string { return "local" }
+
+// Provision implements Provider: any request is satisfied immediately
+// with n references to the single local node (Parsl local blocks are
+// worker pools on the same machine).
+func (l *LocalProvider) Provision(n int) *devent.Event {
+	ev := l.env.NewNamedEvent("local-provision")
+	nodes := make([]*gpuctl.Node, n)
+	for i := range nodes {
+		nodes[i] = l.node
+	}
+	ev.Fire(nodes)
+	return ev
+}
+
+// SlurmProvider models an HPC batch system: a fixed pool of nodes
+// granted after a queue delay, the dominant latency when Parsl runs
+// against a supercomputer.
+type SlurmProvider struct {
+	env        *devent.Env
+	nodes      []*gpuctl.Node
+	queueDelay time.Duration
+	granted    int
+}
+
+// NewSlurm creates a provider over a node pool with a fixed queue
+// delay per allocation.
+func NewSlurm(env *devent.Env, queueDelay time.Duration, nodes ...*gpuctl.Node) *SlurmProvider {
+	return &SlurmProvider{env: env, nodes: nodes, queueDelay: queueDelay}
+}
+
+// Name implements Provider.
+func (s *SlurmProvider) Name() string { return "slurm" }
+
+// Provision implements Provider: after the queue delay, n distinct
+// nodes are granted from the pool; over-subscription fails the event.
+func (s *SlurmProvider) Provision(n int) *devent.Event {
+	ev := s.env.NewNamedEvent("slurm-provision")
+	s.env.Schedule(s.queueDelay, func() {
+		if s.granted+n > len(s.nodes) {
+			ev.Fail(fmt.Errorf("provider: slurm pool exhausted (%d of %d granted, want %d)",
+				s.granted, len(s.nodes), n))
+			return
+		}
+		out := s.nodes[s.granted : s.granted+n]
+		s.granted += n
+		ev.Fire(append([]*gpuctl.Node(nil), out...))
+	})
+	return ev
+}
+
+// Granted reports how many nodes have been handed out.
+func (s *SlurmProvider) Granted() int { return s.granted }

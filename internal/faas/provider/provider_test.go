@@ -1,0 +1,76 @@
+package provider
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/gpuctl"
+)
+
+func TestLocalProviderImmediate(t *testing.T) {
+	env := devent.NewEnv()
+	node := gpuctl.NewNode(env)
+	p := NewLocal(env, node)
+	if p.Name() != "local" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	ev := p.Provision(3)
+	if !ev.Fired() {
+		t.Fatal("local provision should be immediate")
+	}
+	nodes := ev.Value().([]*gpuctl.Node)
+	if len(nodes) != 3 || nodes[0] != node {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestSlurmProviderDelayAndExhaustion(t *testing.T) {
+	env := devent.NewEnv()
+	n1, n2 := gpuctl.NewNode(env), gpuctl.NewNode(env)
+	s := NewSlurm(env, time.Minute, n1, n2)
+	if s.Name() != "slurm" {
+		t.Fatalf("name = %s", s.Name())
+	}
+	var gotAt time.Duration
+	var count int
+	var exhausted error
+	env.Spawn("main", func(p *devent.Proc) {
+		v, err := p.Wait(s.Provision(2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotAt = p.Now()
+		count = len(v.([]*gpuctl.Node))
+		_, exhausted = p.Wait(s.Provision(1))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != time.Minute || count != 2 {
+		t.Fatalf("gotAt=%v count=%d", gotAt, count)
+	}
+	if exhausted == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if s.Granted() != 2 {
+		t.Fatalf("granted = %d", s.Granted())
+	}
+}
+
+func TestSlurmDistinctNodes(t *testing.T) {
+	env := devent.NewEnv()
+	n1, n2 := gpuctl.NewNode(env), gpuctl.NewNode(env)
+	s := NewSlurm(env, 0, n1, n2)
+	env.Spawn("main", func(p *devent.Proc) {
+		a, _ := p.Wait(s.Provision(1))
+		b, _ := p.Wait(s.Provision(1))
+		if a.([]*gpuctl.Node)[0] == b.([]*gpuctl.Node)[0] {
+			t.Error("same node granted twice")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

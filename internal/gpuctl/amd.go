@@ -1,0 +1,105 @@
+package gpuctl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/devent"
+	"repro/internal/simgpu"
+)
+
+// AMD environment variables (Table 1's "AMD equivalent" column):
+// ROCm selects devices with ROCR_VISIBLE_DEVICES, runs concurrent
+// kernels from different processes by default (the MPS-default
+// analogue), and caps a process's compute units with an HSA CU mask
+// (the GPU-percentage analogue).
+const (
+	EnvROCRVisibleDevices = "ROCR_VISIBLE_DEVICES"
+	EnvHSACUMask          = "HSA_CU_MASK"
+)
+
+// AMDBinding is the ROCm counterpart of Binding.
+type AMDBinding struct {
+	// Accelerator is the device index as a string.
+	Accelerator string
+	// CUs caps the compute units this process may use; 0 = all.
+	CUs int
+}
+
+// Environ renders the binding as ROCm environment variables. The CU
+// mask uses the queue-0 range syntax ("0:0-31").
+func (b AMDBinding) Environ() map[string]string {
+	env := map[string]string{EnvROCRVisibleDevices: b.Accelerator}
+	if b.CUs > 0 {
+		env[EnvHSACUMask] = fmt.Sprintf("0:0-%d", b.CUs-1)
+	}
+	return env
+}
+
+// CUsFromEnv parses an HSA_CU_MASK value back into a CU count
+// (0 = no mask / unlimited). Only the simple "queue:lo-hi" range form
+// is understood; malformed values mean no cap, as the runtime would
+// silently ignore them.
+func CUsFromEnv(env map[string]string) int {
+	mask, ok := env[EnvHSACUMask]
+	if !ok {
+		return 0
+	}
+	parts := strings.SplitN(mask, ":", 2)
+	if len(parts) != 2 {
+		return 0
+	}
+	bounds := strings.SplitN(parts[1], "-", 2)
+	if len(bounds) != 2 {
+		return 0
+	}
+	lo, err1 := strconv.Atoi(bounds[0])
+	hi, err2 := strconv.Atoi(bounds[1])
+	if err1 != nil || err2 != nil || hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// AMDPercentToCUs converts a GPU percentage to a CU count for the
+// spec (rounding up, like CUDA MPS).
+func AMDPercentToCUs(spec simgpu.DeviceSpec, pct int) int {
+	if pct <= 0 || pct >= 100 {
+		return 0
+	}
+	return int(math.Ceil(float64(pct) / 100 * float64(spec.SMs)))
+}
+
+// OpenAMDContext is the ROCm client bring-up: resolve
+// ROCR_VISIBLE_DEVICES, apply the CU mask as an SM percentage, and
+// create the context. ROCm multiplexes spatially by default, so the
+// caller should have put the device in PolicySpatial (see
+// ConfigureAMD).
+func (n *Node) OpenAMDContext(p *devent.Proc, name string, env map[string]string) (*simgpu.Context, error) {
+	refs := ParseVisibleDevices(env[EnvROCRVisibleDevices])
+	if len(refs) == 0 || refs[0].Kind != RefIndex {
+		return nil, ErrNoDevice
+	}
+	dev := n.Device(refs[0].Index)
+	if dev == nil {
+		return nil, fmt.Errorf("%w: index %d", ErrNoDevice, refs[0].Index)
+	}
+	opts := simgpu.ContextOpts{Name: name}
+	if cus := CUsFromEnv(env); cus > 0 {
+		pct := int(math.Ceil(float64(cus) / float64(dev.Spec().SMs) * 100))
+		if pct > 100 {
+			pct = 100
+		}
+		opts.SMPercent = pct
+	}
+	return dev.NewContext(p, opts)
+}
+
+// ConfigureAMD puts an AMD device into its default concurrent
+// (spatial) sharing mode — Table 1: concurrent execution is "the
+// default multiplexing method in AMD ROCm", no daemon required.
+func ConfigureAMD(dev *simgpu.Device) error {
+	return dev.SetPolicy(simgpu.PolicySpatial)
+}

@@ -1,0 +1,35 @@
+package models
+
+import "testing"
+
+// BenchmarkBuildResNet50 measures model construction + shape
+// inference.
+func BenchmarkBuildResNet50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ResNet50().TotalParams() == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// BenchmarkLowerResNet50 measures kernel-stream lowering.
+func BenchmarkLowerResNet50(b *testing.B) {
+	m := ResNet50()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Lower(m, LowerOpts{Batch: 8, FuseElementwise: true})) == 0 {
+			b.Fatal("empty stream")
+		}
+	}
+}
+
+// BenchmarkConvProfile measures the Fig.-1 profile extraction.
+func BenchmarkConvProfile(b *testing.B) {
+	m := ResNet101()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.ConvProfile()) != 104 {
+			b.Fatal("wrong profile")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package models provides analytic descriptions of the paper's
+// workloads: ImageNet CNNs (per-layer FLOP profiles behind Fig. 1),
+// LLaMa-2 transformer specs (§3.2), and the small MLP emulator used by
+// the molecular-design campaign (§3.1). Models lower to simgpu kernel
+// streams for execution on the simulated GPU.
+//
+// FLOP counts follow the common convention of 2 FLOPs per
+// multiply-accumulate; parameter counts match the torchvision /
+// Meta-published numbers and are asserted in tests.
+package models
+
+import "fmt"
+
+// Tensor is a CHW activation shape.
+type Tensor struct {
+	C, H, W int
+}
+
+// Elems returns C*H*W.
+func (t Tensor) Elems() int64 { return int64(t.C) * int64(t.H) * int64(t.W) }
+
+// String formats the shape as CxHxW.
+func (t Tensor) String() string { return fmt.Sprintf("%dx%dx%d", t.C, t.H, t.W) }
+
+// Layer is one network layer with analytically computable cost.
+type Layer interface {
+	// Name returns the layer's unique name within its model.
+	Name() string
+	// Kind returns the layer type ("conv", "linear", ...).
+	Kind() string
+	// OutShape infers the output shape from the input shape.
+	OutShape(in Tensor) Tensor
+	// FLOPs returns forward-pass floating-point operations for one
+	// sample with the given input shape (2 FLOPs per MAC).
+	FLOPs(in Tensor) float64
+	// Params returns the number of learnable parameters.
+	Params(in Tensor) int64
+}
+
+func convOut(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// Conv2D is a (possibly grouped) 2-D convolution.
+type Conv2D struct {
+	LayerName string
+	OutC      int
+	K         int // kernel size (square)
+	Stride    int
+	Pad       int
+	Groups    int
+	Bias      bool
+}
+
+// Name implements Layer.
+func (c Conv2D) Name() string { return c.LayerName }
+
+// Kind implements Layer.
+func (c Conv2D) Kind() string { return "conv" }
+
+// OutShape implements Layer.
+func (c Conv2D) OutShape(in Tensor) Tensor {
+	return Tensor{C: c.OutC, H: convOut(in.H, c.K, c.Stride, c.Pad), W: convOut(in.W, c.K, c.Stride, c.Pad)}
+}
+
+// FLOPs implements Layer: 2 × K² × Cin/groups × Cout × Hout × Wout,
+// plus the bias add.
+func (c Conv2D) FLOPs(in Tensor) float64 {
+	out := c.OutShape(in)
+	g := c.groups()
+	macs := float64(c.K*c.K) * float64(in.C/g) * float64(out.Elems())
+	fl := 2 * macs
+	if c.Bias {
+		fl += float64(out.Elems())
+	}
+	return fl
+}
+
+// Params implements Layer.
+func (c Conv2D) Params(in Tensor) int64 {
+	g := c.groups()
+	p := int64(c.K*c.K) * int64(in.C/g) * int64(c.OutC)
+	if c.Bias {
+		p += int64(c.OutC)
+	}
+	return p
+}
+
+func (c Conv2D) groups() int {
+	if c.Groups <= 0 {
+		return 1
+	}
+	return c.Groups
+}
+
+// Linear is a fully connected layer; the input is flattened.
+type Linear struct {
+	LayerName string
+	Out       int
+	Bias      bool
+}
+
+// Name implements Layer.
+func (l Linear) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l Linear) Kind() string { return "linear" }
+
+// OutShape implements Layer.
+func (l Linear) OutShape(in Tensor) Tensor { return Tensor{C: l.Out, H: 1, W: 1} }
+
+// FLOPs implements Layer.
+func (l Linear) FLOPs(in Tensor) float64 {
+	fl := 2 * float64(in.Elems()) * float64(l.Out)
+	if l.Bias {
+		fl += float64(l.Out)
+	}
+	return fl
+}
+
+// Params implements Layer.
+func (l Linear) Params(in Tensor) int64 {
+	p := in.Elems() * int64(l.Out)
+	if l.Bias {
+		p += int64(l.Out)
+	}
+	return p
+}
+
+// Pool is max or average pooling.
+type Pool struct {
+	LayerName string
+	K         int
+	Stride    int
+	Pad       int
+}
+
+// Name implements Layer.
+func (p Pool) Name() string { return p.LayerName }
+
+// Kind implements Layer.
+func (p Pool) Kind() string { return "pool" }
+
+// OutShape implements Layer.
+func (p Pool) OutShape(in Tensor) Tensor {
+	return Tensor{C: in.C, H: convOut(in.H, p.K, p.Stride, p.Pad), W: convOut(in.W, p.K, p.Stride, p.Pad)}
+}
+
+// FLOPs implements Layer: one op per window element per output.
+func (p Pool) FLOPs(in Tensor) float64 {
+	return float64(p.OutShape(in).Elems()) * float64(p.K*p.K)
+}
+
+// Params implements Layer.
+func (p Pool) Params(Tensor) int64 { return 0 }
+
+// AdaptivePool pools to a fixed output spatial size.
+type AdaptivePool struct {
+	LayerName string
+	OutH      int
+	OutW      int
+}
+
+// Name implements Layer.
+func (p AdaptivePool) Name() string { return p.LayerName }
+
+// Kind implements Layer.
+func (p AdaptivePool) Kind() string { return "pool" }
+
+// OutShape implements Layer.
+func (p AdaptivePool) OutShape(in Tensor) Tensor { return Tensor{C: in.C, H: p.OutH, W: p.OutW} }
+
+// FLOPs implements Layer: roughly one op per input element.
+func (p AdaptivePool) FLOPs(in Tensor) float64 { return float64(in.Elems()) }
+
+// Params implements Layer.
+func (p AdaptivePool) Params(Tensor) int64 { return 0 }
+
+// BatchNorm is 2-D batch normalization (inference form).
+type BatchNorm struct {
+	LayerName string
+}
+
+// Name implements Layer.
+func (b BatchNorm) Name() string { return b.LayerName }
+
+// Kind implements Layer.
+func (b BatchNorm) Kind() string { return "bn" }
+
+// OutShape implements Layer.
+func (b BatchNorm) OutShape(in Tensor) Tensor { return in }
+
+// FLOPs implements Layer: scale and shift per element.
+func (b BatchNorm) FLOPs(in Tensor) float64 { return 2 * float64(in.Elems()) }
+
+// Params implements Layer: weight and bias per channel.
+func (b BatchNorm) Params(in Tensor) int64 { return 2 * int64(in.C) }
+
+// Activation is an elementwise nonlinearity.
+type Activation struct {
+	LayerName string
+}
+
+// Name implements Layer.
+func (a Activation) Name() string { return a.LayerName }
+
+// Kind implements Layer.
+func (a Activation) Kind() string { return "act" }
+
+// OutShape implements Layer.
+func (a Activation) OutShape(in Tensor) Tensor { return in }
+
+// FLOPs implements Layer.
+func (a Activation) FLOPs(in Tensor) float64 { return float64(in.Elems()) }
+
+// Params implements Layer.
+func (a Activation) Params(Tensor) int64 { return 0 }
+
+// Add is an elementwise residual addition.
+type Add struct {
+	LayerName string
+}
+
+// Name implements Layer.
+func (a Add) Name() string { return a.LayerName }
+
+// Kind implements Layer.
+func (a Add) Kind() string { return "add" }
+
+// OutShape implements Layer.
+func (a Add) OutShape(in Tensor) Tensor { return in }
+
+// FLOPs implements Layer.
+func (a Add) FLOPs(in Tensor) float64 { return float64(in.Elems()) }
+
+// Params implements Layer.
+func (a Add) Params(Tensor) int64 { return 0 }

@@ -1,0 +1,101 @@
+package models
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/simgpu"
+)
+
+// LowerOpts controls how a Model becomes a simgpu kernel stream.
+type LowerOpts struct {
+	// Batch is the number of samples processed together.
+	Batch int
+	// BytesPerElt is activation/weight element size (4 for fp32).
+	BytesPerElt int
+	// LaunchOverhead is the fixed per-kernel cost (framework + driver);
+	// defaults to 10 µs, the right order for PyTorch eager mode.
+	LaunchOverhead time.Duration
+	// ThreadsPerSM approximates how much parallel work keeps one SM
+	// busy, used to derive each kernel's MaxSMs from its output size;
+	// defaults to 2048.
+	ThreadsPerSM int
+	// Tag labels the kernels (e.g. "infer", "train").
+	Tag string
+	// TrainScale multiplies FLOPs/bytes (3 for a training step); 0
+	// means 1 (inference).
+	TrainScale float64
+	// FuseElementwise folds activation/bn/add layers into the
+	// preceding compute kernel instead of emitting separate kernels.
+	FuseElementwise bool
+}
+
+func (o LowerOpts) withDefaults() LowerOpts {
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.BytesPerElt <= 0 {
+		o.BytesPerElt = 4
+	}
+	if o.LaunchOverhead == 0 {
+		o.LaunchOverhead = 10 * time.Microsecond
+	}
+	if o.ThreadsPerSM <= 0 {
+		o.ThreadsPerSM = 2048
+	}
+	if o.TrainScale <= 0 {
+		o.TrainScale = 1
+	}
+	return o
+}
+
+// Lower converts the model's layers into an in-order kernel stream for
+// one forward pass (or training step when TrainScale > 1). Each
+// layer's parallelism bound comes from its output volume: a layer
+// with few output elements cannot fill the device — the mechanism
+// behind Fig. 1's "compute requirement changes rapidly" observation
+// mattering for partitioning.
+func Lower(m *Model, opts LowerOpts) []simgpu.Kernel {
+	o := opts.withDefaults()
+	var ks []simgpu.Kernel
+	for _, p := range m.Layers {
+		elementwise := p.Layer.Kind() == "act" || p.Layer.Kind() == "bn" || p.Layer.Kind() == "add"
+		flops := p.Layer.FLOPs(p.In) * float64(o.Batch) * o.TrainScale
+		bytes := layerBytes(p, o)
+		if elementwise && o.FuseElementwise && len(ks) > 0 {
+			ks[len(ks)-1].FLOPs += flops
+			continue
+		}
+		work := float64(o.Batch) * float64(p.Out.Elems())
+		maxSMs := int(math.Ceil(work / float64(o.ThreadsPerSM)))
+		if maxSMs < 1 {
+			maxSMs = 1
+		}
+		ks = append(ks, simgpu.Kernel{
+			Name:     m.Name + "/" + p.Layer.Name(),
+			FLOPs:    flops,
+			Bytes:    bytes,
+			MaxSMs:   maxSMs,
+			Overhead: o.LaunchOverhead,
+			Tag:      o.Tag,
+		})
+	}
+	return ks
+}
+
+// layerBytes estimates memory traffic: read input and weights, write
+// output, scaled by batch (weights read once per kernel).
+func layerBytes(p Placed, o LowerOpts) float64 {
+	acts := float64(p.In.Elems()+p.Out.Elems()) * float64(o.Batch)
+	weights := float64(p.Layer.Params(p.In))
+	return (acts + weights) * float64(o.BytesPerElt) * o.TrainScale
+}
+
+// TotalFLOPs sums the stream's FLOPs (sanity checks and tests).
+func TotalFLOPs(ks []simgpu.Kernel) float64 {
+	var t float64
+	for _, k := range ks {
+		t += k.FLOPs
+	}
+	return t
+}

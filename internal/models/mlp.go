@@ -1,0 +1,39 @@
+package models
+
+import "fmt"
+
+// MLP describes the small fully connected emulator network the
+// molecular-design campaign trains to predict ionization potentials.
+type MLP struct {
+	Name   string
+	In     int
+	Hidden []int
+	Out    int
+}
+
+// MolDesignEmulator returns the campaign's default emulator: a
+// fingerprint-input regression MLP.
+func MolDesignEmulator() MLP {
+	return MLP{Name: "ip-emulator", In: 512, Hidden: []int{1024, 512, 256}, Out: 1}
+}
+
+// Model lowers the MLP to a Model (linear + activation stack).
+func (m MLP) Model() *Model {
+	b := NewBuilder(m.Name, Tensor{C: m.In, H: 1, W: 1})
+	for i, h := range m.Hidden {
+		b.Add(Linear{LayerName: fmt.Sprintf("fc%d", i), Out: h, Bias: true})
+		b.Add(Activation{LayerName: fmt.Sprintf("relu%d", i)})
+	}
+	b.Add(Linear{LayerName: "head", Out: m.Out, Bias: true})
+	return b.Build()
+}
+
+// Params returns the learnable parameter count.
+func (m MLP) Params() int64 { return m.Model().TotalParams() }
+
+// ForwardFLOPsPerSample returns inference FLOPs for one sample.
+func (m MLP) ForwardFLOPsPerSample() float64 { return m.Model().PerSampleFLOPs() }
+
+// TrainFLOPsPerSample returns training FLOPs for one sample using the
+// standard ≈3× forward rule (forward + input grads + weight grads).
+func (m MLP) TrainFLOPsPerSample() float64 { return 3 * m.ForwardFLOPsPerSample() }

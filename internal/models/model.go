@@ -1,0 +1,106 @@
+package models
+
+// Placed is a layer with its inferred input and output shapes.
+type Placed struct {
+	Layer Layer
+	In    Tensor
+	Out   Tensor
+}
+
+// Model is a network as an ordered list of placed layers. Residual
+// side branches are placed with explicit input shapes, so the list is
+// a faithful per-layer cost profile even for non-sequential graphs.
+type Model struct {
+	Name   string
+	Input  Tensor
+	Layers []Placed
+}
+
+// PerSampleFLOPs returns forward FLOPs for one input sample.
+func (m *Model) PerSampleFLOPs() float64 {
+	var total float64
+	for _, p := range m.Layers {
+		total += p.Layer.FLOPs(p.In)
+	}
+	return total
+}
+
+// TotalParams returns the learnable parameter count.
+func (m *Model) TotalParams() int64 {
+	var total int64
+	for _, p := range m.Layers {
+		total += p.Layer.Params(p.In)
+	}
+	return total
+}
+
+// WeightBytes returns parameter memory at the given element size.
+func (m *Model) WeightBytes(bytesPerParam int) int64 {
+	return m.TotalParams() * int64(bytesPerParam)
+}
+
+// LayersOfKind returns the placed layers whose Kind matches.
+func (m *Model) LayersOfKind(kind string) []Placed {
+	var out []Placed
+	for _, p := range m.Layers {
+		if p.Layer.Kind() == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LayerFLOPs is one point of a per-layer cost profile (Fig. 1).
+type LayerFLOPs struct {
+	Index  int
+	Name   string
+	GFLOPs float64
+}
+
+// ConvProfile returns per-convolution-layer GFLOPs for one sample —
+// the series plotted in the paper's Fig. 1.
+func (m *Model) ConvProfile() []LayerFLOPs {
+	var out []LayerFLOPs
+	for _, p := range m.LayersOfKind("conv") {
+		out = append(out, LayerFLOPs{
+			Index:  len(out) + 1,
+			Name:   p.Layer.Name(),
+			GFLOPs: p.Layer.FLOPs(p.In) / 1e9,
+		})
+	}
+	return out
+}
+
+// Builder assembles a Model by shape inference.
+type Builder struct {
+	m   *Model
+	cur Tensor
+}
+
+// NewBuilder starts a model with the given input shape.
+func NewBuilder(name string, input Tensor) *Builder {
+	return &Builder{m: &Model{Name: name, Input: input}, cur: input}
+}
+
+// Add places a layer on the main trunk and advances the current shape.
+func (b *Builder) Add(l Layer) *Builder {
+	out := l.OutShape(b.cur)
+	b.m.Layers = append(b.m.Layers, Placed{Layer: l, In: b.cur, Out: out})
+	b.cur = out
+	return b
+}
+
+// AddAt places a layer with an explicit input shape (side branches);
+// the trunk's current shape is unchanged. It returns the branch
+// output shape.
+func (b *Builder) AddAt(l Layer, in Tensor) Tensor {
+	out := l.OutShape(in)
+	b.m.Layers = append(b.m.Layers, Placed{Layer: l, In: in, Out: out})
+	return out
+}
+
+// Shape returns the current trunk shape.
+func (b *Builder) Shape() Tensor { return b.cur }
+
+// Build finalizes and returns the model.
+func (b *Builder) Build() *Model { return b.m }

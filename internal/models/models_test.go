@@ -1,0 +1,298 @@
+package models
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Published parameter counts (torchvision, Meta) — exact matches
+// validate the architecture definitions.
+func TestParameterCountsMatchPublished(t *testing.T) {
+	cases := []struct {
+		model *Model
+		want  int64
+	}{
+		{AlexNet(), 61_100_840},
+		{VGG16(), 138_357_544},
+		{ResNet50(), 25_557_032},
+		{ResNet101(), 44_549_160},
+		{ResNet152(), 60_192_808},
+		{SqueezeNet(), 1_235_496},
+	}
+	for _, c := range cases {
+		if got := c.model.TotalParams(); got != c.want {
+			t.Errorf("%s params = %d, want %d", c.model.Name, got, c.want)
+		}
+	}
+}
+
+// Published forward GFLOPs at 224×224 (2 FLOPs per MAC): widely
+// reported values with a few-percent tolerance (elementwise ops are
+// counted slightly differently across tools).
+func TestForwardGFLOPsMatchPublished(t *testing.T) {
+	cases := []struct {
+		model *Model
+		want  float64 // GFLOPs
+		tol   float64
+	}{
+		{AlexNet(), 1.43, 0.05},
+		{VGG16(), 30.96, 0.03},
+		{ResNet50(), 8.21, 0.05},
+		{ResNet101(), 15.65, 0.05},
+		{SqueezeNet(), 0.70, 0.10},
+	}
+	for _, c := range cases {
+		got := c.model.PerSampleFLOPs() / 1e9
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s GFLOPs = %.3f, want %.3f ± %.0f%%", c.model.Name, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestConvShapeInference(t *testing.T) {
+	c := Conv2D{LayerName: "c", OutC: 64, K: 7, Stride: 2, Pad: 3}
+	out := c.OutShape(Tensor{C: 3, H: 224, W: 224})
+	if out != (Tensor{C: 64, H: 112, W: 112}) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestResNetShapesEndAtOneByOne(t *testing.T) {
+	m := ResNet50()
+	last := m.Layers[len(m.Layers)-1]
+	if last.Layer.Kind() != "linear" || last.In != (Tensor{C: 2048, H: 1, W: 1}) {
+		t.Fatalf("final layer in-shape = %v", last.In)
+	}
+}
+
+// Fig. 1's point: per-layer compute varies rapidly. Check the profile
+// has large dynamic range and non-monotone structure.
+func TestConvProfileVariability(t *testing.T) {
+	for _, m := range []*Model{ResNet50(), ResNet101(), VGG16()} {
+		prof := m.ConvProfile()
+		if len(prof) < 10 {
+			t.Fatalf("%s: only %d conv layers", m.Name, len(prof))
+		}
+		min, max := prof[0].GFLOPs, prof[0].GFLOPs
+		changes := 0
+		for i := 1; i < len(prof); i++ {
+			if prof[i].GFLOPs < min {
+				min = prof[i].GFLOPs
+			}
+			if prof[i].GFLOPs > max {
+				max = prof[i].GFLOPs
+			}
+			if prof[i].GFLOPs != prof[i-1].GFLOPs {
+				changes++
+			}
+		}
+		if max/min < 3 {
+			t.Errorf("%s: dynamic range %.1fx too flat", m.Name, max/min)
+		}
+		if changes < len(prof)/3 {
+			t.Errorf("%s: profile too constant (%d changes over %d layers)", m.Name, changes, len(prof))
+		}
+	}
+}
+
+func TestResNetConvLayerCounts(t *testing.T) {
+	// ResNet-50 has 53 convolutions (1 stem + 3×16 bottleneck convs +
+	// 4 downsample); ResNet-101 has 104.
+	if got := len(ResNet50().ConvProfile()); got != 53 {
+		t.Errorf("resnet50 convs = %d", got)
+	}
+	if got := len(ResNet101().ConvProfile()); got != 104 {
+		t.Errorf("resnet101 convs = %d", got)
+	}
+}
+
+func TestTransformerParams(t *testing.T) {
+	cases := []struct {
+		spec TransformerSpec
+		want float64 // billions, published
+		tol  float64
+	}{
+		{LLaMa27B(), 6.74, 0.01},
+		{LLaMa213B(), 13.02, 0.01},
+		{LLaMa270B(), 68.98, 0.01},
+	}
+	for _, c := range cases {
+		got := float64(c.spec.Params()) / 1e9
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s params = %.3fB, want %.2fB", c.spec.Name, got, c.want)
+		}
+	}
+}
+
+func TestTransformerMemoryFigures(t *testing.T) {
+	s := LLaMa27B()
+	// fp16 weights ≈ 13.5 GB; fp32 ≈ 27 GB.
+	fp16 := float64(s.WeightBytes(2)) / 1e9
+	if fp16 < 13 || fp16 > 14.5 {
+		t.Errorf("7B fp16 weights = %.1f GB", fp16)
+	}
+	// KV cache per token: 32 layers × 2 × 4096 × 2 bytes = 512 KiB.
+	if got := s.KVCacheBytesPerToken(2); got != 32*2*4096*2 {
+		t.Errorf("KV bytes/token = %d", got)
+	}
+	// GQA shrinks the 70B KV cache.
+	if LLaMa270B().KVCacheBytesPerToken(2) >= LLaMa213B().KVCacheBytesPerToken(2)*4 {
+		t.Error("GQA should bound the 70B KV cache")
+	}
+}
+
+func TestDecodeFLOPsDominatedByWeights(t *testing.T) {
+	s := LLaMa27B()
+	perTok := s.DecodeFLOPsPerToken(512)
+	if perTok < 2*float64(s.Params()) {
+		t.Fatalf("decode FLOPs %.3e below 2·params", perTok)
+	}
+	if perTok > 2.2*float64(s.Params()) {
+		t.Fatalf("attention term too large: %.3e", perTok)
+	}
+	// Prefill scales with prompt length.
+	if s.PrefillFLOPs(100) != 100*2*float64(s.Params()) {
+		t.Fatal("prefill scaling")
+	}
+}
+
+func TestMLPCosts(t *testing.T) {
+	m := MLP{Name: "toy", In: 10, Hidden: []int{20}, Out: 1}
+	// Params: 10*20+20 + 20*1+1 = 241.
+	if got := m.Params(); got != 241 {
+		t.Fatalf("params = %d", got)
+	}
+	fwd := m.ForwardFLOPsPerSample()
+	// 2*10*20+20 + 2*20*1+1 + relu 20 = 420+41+20 = 481.
+	if math.Abs(fwd-481) > 0.5 {
+		t.Fatalf("fwd FLOPs = %v", fwd)
+	}
+	if m.TrainFLOPsPerSample() != 3*fwd {
+		t.Fatal("train rule")
+	}
+	if MolDesignEmulator().Params() < 100_000 {
+		t.Fatal("emulator suspiciously small")
+	}
+}
+
+func TestLowerProducesKernelPerComputeLayer(t *testing.T) {
+	m := ResNet50()
+	ks := Lower(m, LowerOpts{Batch: 1, Tag: "infer", FuseElementwise: true})
+	// With fusion, kernels = conv + pool + linear layers.
+	want := len(m.LayersOfKind("conv")) + len(m.LayersOfKind("pool")) + len(m.LayersOfKind("linear"))
+	if len(ks) != want {
+		t.Fatalf("kernels = %d, want %d", len(ks), want)
+	}
+	for _, k := range ks {
+		if k.MaxSMs < 1 {
+			t.Fatalf("kernel %s MaxSMs = %d", k.Name, k.MaxSMs)
+		}
+		if k.Tag != "infer" {
+			t.Fatalf("kernel %s tag = %q", k.Name, k.Tag)
+		}
+	}
+}
+
+func TestLowerFLOPsConserved(t *testing.T) {
+	m := ResNet50()
+	want := m.PerSampleFLOPs()
+	got := TotalFLOPs(Lower(m, LowerOpts{Batch: 1, FuseElementwise: true}))
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("lowered FLOPs %.6e != model FLOPs %.6e", got, want)
+	}
+	// Batch scales linearly.
+	got8 := TotalFLOPs(Lower(m, LowerOpts{Batch: 8, FuseElementwise: true}))
+	if math.Abs(got8-8*want)/want > 1e-9 {
+		t.Fatalf("batch-8 FLOPs %.6e", got8)
+	}
+}
+
+func TestLowerTrainScale(t *testing.T) {
+	m := MolDesignEmulator().Model()
+	inf := TotalFLOPs(Lower(m, LowerOpts{Batch: 4}))
+	trn := TotalFLOPs(Lower(m, LowerOpts{Batch: 4, TrainScale: 3}))
+	if math.Abs(trn-3*inf)/inf > 1e-9 {
+		t.Fatalf("train = %.3e, want 3×%.3e", trn, inf)
+	}
+}
+
+func TestLowerMaxSMsGrowsWithBatch(t *testing.T) {
+	m := MolDesignEmulator().Model()
+	k1 := Lower(m, LowerOpts{Batch: 1})[0]
+	k64 := Lower(m, LowerOpts{Batch: 64})[0]
+	if k64.MaxSMs <= k1.MaxSMs {
+		t.Fatalf("MaxSMs batch1=%d batch64=%d", k1.MaxSMs, k64.MaxSMs)
+	}
+}
+
+// Property: conv FLOPs scale exactly with output channels and
+// quadratically with kernel size.
+func TestQuickConvFLOPsScaling(t *testing.T) {
+	f := func(outCRaw, kRaw uint8) bool {
+		outC := int(outCRaw%64) + 1
+		k := int(kRaw%5) + 1
+		in := Tensor{C: 16, H: 32, W: 32}
+		base := Conv2D{LayerName: "c", OutC: outC, K: k, Stride: 1, Pad: k / 2}
+		doubled := Conv2D{LayerName: "c2", OutC: 2 * outC, K: k, Stride: 1, Pad: k / 2}
+		if doubled.FLOPs(in) != 2*base.FLOPs(in) {
+			return false
+		}
+		return base.FLOPs(in) > 0 && base.Params(in) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shape inference keeps spatial dims positive for valid
+// stride/pad combos, and FLOPs are monotone in input size.
+func TestQuickShapeSanity(t *testing.T) {
+	f := func(hRaw, sRaw uint8) bool {
+		h := int(hRaw%200) + 8
+		s := int(sRaw%3) + 1
+		c := Conv2D{LayerName: "c", OutC: 8, K: 3, Stride: s, Pad: 1}
+		small := Tensor{C: 4, H: h, W: h}
+		big := Tensor{C: 4, H: h + 8, W: h + 8}
+		outS := c.OutShape(small)
+		if outS.H < 1 || outS.W < 1 {
+			return false
+		}
+		return c.FLOPs(big) >= c.FLOPs(small)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The transformer decode profile is flat across depth — the contrast
+// with Fig. 1's CNN variability that makes LLM right-sizing stable.
+func TestDecodeLayerProfileUniform(t *testing.T) {
+	s := LLaMa27B()
+	prof := s.DecodeLayerProfile(2)
+	// embed + 32×7 + head.
+	if len(prof) != 2+32*7 {
+		t.Fatalf("sublayers = %d", len(prof))
+	}
+	// Every attn.q across layers has identical cost.
+	var qCosts []float64
+	var total float64
+	for _, p := range prof {
+		total += p.GFLOPs
+		if strings.HasSuffix(p.Name, "attn.q") {
+			qCosts = append(qCosts, p.GFLOPs)
+		}
+	}
+	for _, c := range qCosts {
+		if c != qCosts[0] {
+			t.Fatal("per-layer decode cost not uniform")
+		}
+	}
+	// The profile sums to ≈2×(params − embedding table): decoding
+	// gathers one embedding row rather than multiplying the table.
+	want := 2 * float64(s.Params()-int64(s.Vocab)*int64(s.DModel)) / 1e9
+	if math.Abs(total-want)/want > 0.01 {
+		t.Fatalf("profile total %.2f vs expected %.2f", total, want)
+	}
+}

@@ -1,0 +1,147 @@
+package models
+
+import "fmt"
+
+// ImageNetInput is the standard 3×224×224 classification input.
+var ImageNetInput = Tensor{C: 3, H: 224, W: 224}
+
+// AlexNet builds the torchvision AlexNet (61,100,840 parameters).
+func AlexNet() *Model {
+	b := NewBuilder("alexnet", ImageNetInput)
+	conv := func(i, outC, k, stride, pad int) {
+		b.Add(Conv2D{LayerName: fmt.Sprintf("features.%d", i), OutC: outC, K: k, Stride: stride, Pad: pad, Bias: true})
+		b.Add(Activation{LayerName: fmt.Sprintf("features.%d.relu", i)})
+	}
+	conv(0, 64, 11, 4, 2)
+	b.Add(Pool{LayerName: "features.2.maxpool", K: 3, Stride: 2})
+	conv(3, 192, 5, 1, 2)
+	b.Add(Pool{LayerName: "features.5.maxpool", K: 3, Stride: 2})
+	conv(6, 384, 3, 1, 1)
+	conv(8, 256, 3, 1, 1)
+	conv(10, 256, 3, 1, 1)
+	b.Add(Pool{LayerName: "features.12.maxpool", K: 3, Stride: 2})
+	b.Add(AdaptivePool{LayerName: "avgpool", OutH: 6, OutW: 6})
+	b.Add(Linear{LayerName: "classifier.1", Out: 4096, Bias: true})
+	b.Add(Activation{LayerName: "classifier.2.relu"})
+	b.Add(Linear{LayerName: "classifier.4", Out: 4096, Bias: true})
+	b.Add(Activation{LayerName: "classifier.5.relu"})
+	b.Add(Linear{LayerName: "classifier.6", Out: 1000, Bias: true})
+	return b.Build()
+}
+
+// VGG16 builds torchvision VGG-16 (138,357,544 parameters).
+func VGG16() *Model {
+	b := NewBuilder("vgg16", ImageNetInput)
+	cfg := []int{64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1}
+	for i, c := range cfg {
+		if c == -1 {
+			b.Add(Pool{LayerName: fmt.Sprintf("features.%d.maxpool", i), K: 2, Stride: 2})
+			continue
+		}
+		b.Add(Conv2D{LayerName: fmt.Sprintf("features.%d", i), OutC: c, K: 3, Stride: 1, Pad: 1, Bias: true})
+		b.Add(Activation{LayerName: fmt.Sprintf("features.%d.relu", i)})
+	}
+	b.Add(AdaptivePool{LayerName: "avgpool", OutH: 7, OutW: 7})
+	b.Add(Linear{LayerName: "classifier.0", Out: 4096, Bias: true})
+	b.Add(Activation{LayerName: "classifier.1.relu"})
+	b.Add(Linear{LayerName: "classifier.3", Out: 4096, Bias: true})
+	b.Add(Activation{LayerName: "classifier.4.relu"})
+	b.Add(Linear{LayerName: "classifier.6", Out: 1000, Bias: true})
+	return b.Build()
+}
+
+// ResNet50 builds torchvision ResNet-50 (25,557,032 parameters).
+func ResNet50() *Model { return resnet("resnet50", []int{3, 4, 6, 3}) }
+
+// ResNet101 builds torchvision ResNet-101 (44,549,160 parameters).
+func ResNet101() *Model { return resnet("resnet101", []int{3, 4, 23, 3}) }
+
+// ResNet152 builds torchvision ResNet-152 (60,192,808 parameters).
+func ResNet152() *Model { return resnet("resnet152", []int{3, 8, 36, 3}) }
+
+func resnet(name string, blocks []int) *Model {
+	b := NewBuilder(name, ImageNetInput)
+	b.Add(Conv2D{LayerName: "conv1", OutC: 64, K: 7, Stride: 2, Pad: 3})
+	b.Add(BatchNorm{LayerName: "bn1"})
+	b.Add(Activation{LayerName: "relu1"})
+	b.Add(Pool{LayerName: "maxpool", K: 3, Stride: 2, Pad: 1})
+	planes := 64
+	for stage, n := range blocks {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		for i := 0; i < n; i++ {
+			s := 1
+			if i == 0 {
+				s = stride
+			}
+			bottleneck(b, fmt.Sprintf("layer%d.%d", stage+1, i), planes, s, i == 0)
+		}
+		planes *= 2
+	}
+	b.Add(AdaptivePool{LayerName: "avgpool", OutH: 1, OutW: 1})
+	b.Add(Linear{LayerName: "fc", Out: 1000, Bias: true})
+	return b.Build()
+}
+
+// bottleneck appends one ResNet bottleneck block: 1×1 reduce, 3×3,
+// 1×1 expand (×4), with a projection shortcut on the first block of
+// each stage.
+func bottleneck(b *Builder, name string, planes, stride int, downsample bool) {
+	blockIn := b.Shape()
+	b.Add(Conv2D{LayerName: name + ".conv1", OutC: planes, K: 1, Stride: 1})
+	b.Add(BatchNorm{LayerName: name + ".bn1"})
+	b.Add(Activation{LayerName: name + ".relu1"})
+	b.Add(Conv2D{LayerName: name + ".conv2", OutC: planes, K: 3, Stride: stride, Pad: 1})
+	b.Add(BatchNorm{LayerName: name + ".bn2"})
+	b.Add(Activation{LayerName: name + ".relu2"})
+	b.Add(Conv2D{LayerName: name + ".conv3", OutC: planes * 4, K: 1, Stride: 1})
+	b.Add(BatchNorm{LayerName: name + ".bn3"})
+	if downsample {
+		dsOut := b.AddAt(Conv2D{LayerName: name + ".downsample.0", OutC: planes * 4, K: 1, Stride: stride}, blockIn)
+		b.AddAt(BatchNorm{LayerName: name + ".downsample.1"}, dsOut)
+	}
+	b.Add(Add{LayerName: name + ".add"})
+	b.Add(Activation{LayerName: name + ".relu3"})
+}
+
+// SqueezeNet builds torchvision SqueezeNet 1.1 (1,235,496 parameters)
+// — a low-FLOP contrast point for Fig. 1.
+func SqueezeNet() *Model {
+	b := NewBuilder("squeezenet1_1", ImageNetInput)
+	b.Add(Conv2D{LayerName: "features.0", OutC: 64, K: 3, Stride: 2, Bias: true})
+	b.Add(Activation{LayerName: "features.1.relu"})
+	b.Add(Pool{LayerName: "features.2.maxpool", K: 3, Stride: 2})
+	fire := func(name string, squeeze, expand int) {
+		b.Add(Conv2D{LayerName: name + ".squeeze", OutC: squeeze, K: 1, Stride: 1, Bias: true})
+		b.Add(Activation{LayerName: name + ".squeeze.relu"})
+		sqOut := b.Shape()
+		b.Add(Conv2D{LayerName: name + ".expand1x1", OutC: expand, K: 1, Stride: 1, Bias: true})
+		b.AddAt(Conv2D{LayerName: name + ".expand3x3", OutC: expand, K: 3, Stride: 1, Pad: 1, Bias: true}, sqOut)
+		// The two expand branches concatenate: the trunk continues
+		// with doubled channels.
+		cur := b.Shape()
+		cur.C = 2 * expand
+		b.cur = cur
+	}
+	fire("features.3", 16, 64)
+	fire("features.4", 16, 64)
+	b.Add(Pool{LayerName: "features.5.maxpool", K: 3, Stride: 2})
+	fire("features.6", 32, 128)
+	fire("features.7", 32, 128)
+	b.Add(Pool{LayerName: "features.8.maxpool", K: 3, Stride: 2})
+	fire("features.9", 48, 192)
+	fire("features.10", 48, 192)
+	fire("features.11", 64, 256)
+	fire("features.12", 64, 256)
+	b.Add(Conv2D{LayerName: "classifier.1", OutC: 1000, K: 1, Stride: 1, Bias: true})
+	b.Add(Activation{LayerName: "classifier.2.relu"})
+	b.Add(AdaptivePool{LayerName: "classifier.3.avgpool", OutH: 1, OutW: 1})
+	return b.Build()
+}
+
+// Zoo returns the CNNs profiled for Fig. 1.
+func Zoo() []*Model {
+	return []*Model{AlexNet(), VGG16(), ResNet50(), ResNet101(), SqueezeNet()}
+}

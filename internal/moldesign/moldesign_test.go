@@ -1,0 +1,154 @@
+package moldesign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMoleculeDeterminism(t *testing.T) {
+	a := NewMolecule(42, 7)
+	b := NewMolecule(42, 7)
+	if a != b {
+		t.Fatal("molecule generation not deterministic")
+	}
+	c := NewMolecule(43, 7)
+	if a == c {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestPoolRangesAndFeatures(t *testing.T) {
+	pool := Pool(1, 100, 50)
+	if len(pool) != 50 || pool[0].ID != 100 || pool[49].ID != 149 {
+		t.Fatalf("pool = %d items, ids %d..%d", len(pool), pool[0].ID, pool[49].ID)
+	}
+	for _, m := range pool {
+		for _, f := range m.Features {
+			if f < -1 || f >= 1 {
+				t.Fatalf("feature %v out of range", f)
+			}
+		}
+	}
+}
+
+func TestTrueIPVariesAndIsCentered(t *testing.T) {
+	pool := Pool(1, 0, 2000)
+	var sum, min, max float64
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, m := range pool {
+		ip := TrueIP(m)
+		sum += ip
+		if ip < min {
+			min = ip
+		}
+		if ip > max {
+			max = ip
+		}
+	}
+	mean := sum / float64(len(pool))
+	if mean < 8.5 || mean > 9.5 {
+		t.Fatalf("mean IP = %v", mean)
+	}
+	if max-min < 1 {
+		t.Fatalf("landscape too flat: [%v, %v]", min, max)
+	}
+}
+
+func TestSimulatedIPNoiseIsSmall(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		m := NewMolecule(5, i)
+		d := math.Abs(SimulatedIP(5, m) - TrueIP(m))
+		if d > 0.05 {
+			t.Fatalf("noise %v too large", d)
+		}
+	}
+	// Deterministic.
+	m := NewMolecule(5, 3)
+	if SimulatedIP(5, m) != SimulatedIP(5, m) {
+		t.Fatal("noise not deterministic")
+	}
+}
+
+func TestSimCostBounds(t *testing.T) {
+	base, spread := 4*time.Second, 12*time.Second
+	for i := 0; i < 200; i++ {
+		c := SimCost(1, NewMolecule(1, i), base, spread)
+		if c < base || c > base+spread {
+			t.Fatalf("cost %v out of bounds", c)
+		}
+	}
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	// Generate data from a known linear model and check recovery.
+	var truth Emulator
+	for i := range truth.Weights {
+		truth.Weights[i] = float64(i%5) - 2
+	}
+	truth.Bias = 3
+	var data []SimResult
+	for i := 0; i < 400; i++ {
+		m := NewMolecule(9, i)
+		data = append(data, SimResult{Molecule: m, IP: truth.Predict(m)})
+	}
+	em, err := FitRidge(data, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Weights {
+		if math.Abs(em.Weights[i]-truth.Weights[i]) > 0.01 {
+			t.Fatalf("weight %d = %v, want %v", i, em.Weights[i], truth.Weights[i])
+		}
+	}
+	if math.Abs(em.Bias-truth.Bias) > 0.01 {
+		t.Fatalf("bias = %v", em.Bias)
+	}
+	if rmse := RMSE(em, data); rmse > 0.01 {
+		t.Fatalf("rmse = %v", rmse)
+	}
+}
+
+func TestRidgeOnCampaignLandscape(t *testing.T) {
+	var data []SimResult
+	for i := 0; i < 500; i++ {
+		m := NewMolecule(2, i)
+		data = append(data, SimResult{Molecule: m, IP: SimulatedIP(2, m)})
+	}
+	em, err := FitRidge(data, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The landscape is mostly linear: the fit should be tight enough
+	// to rank molecules usefully.
+	if rmse := RMSE(em, data); rmse > 0.2 {
+		t.Fatalf("rmse = %v", rmse)
+	}
+}
+
+func TestRidgeEmptyData(t *testing.T) {
+	if _, err := FitRidge(nil, 0.1); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+// Property: ridge prediction is exact on duplicated constant data.
+func TestQuickRidgeConstantData(t *testing.T) {
+	f := func(valRaw uint8, nRaw uint8) bool {
+		val := float64(valRaw)/10 + 1
+		n := int(nRaw%50) + 30
+		var data []SimResult
+		for i := 0; i < n; i++ {
+			data = append(data, SimResult{Molecule: NewMolecule(3, i), IP: val})
+		}
+		em, err := FitRidge(data, 0.01)
+		if err != nil {
+			return false
+		}
+		return RMSE(em, data) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package moldesign reproduces the paper's molecular-design
+// application (§3.1): an active-learning campaign that alternates
+// CPU-bound quantum-chemistry "simulations", GPU emulator training,
+// and GPU inference over large candidate pools, steered by a Colmena
+// thinker over the FaaS runtime.
+//
+// The chemistry is replaced by a synthetic landscape: each molecule is
+// a deterministic feature vector with a hidden ionization-potential
+// function. This preserves everything the paper measures — the phase
+// structure, task durations, and GPU idle gaps of Fig. 3 — while
+// keeping the campaign self-contained and reproducible.
+package moldesign
+
+import (
+	"math"
+	"time"
+)
+
+// FeatureDim is the synthetic fingerprint length.
+const FeatureDim = 12
+
+// Molecule is one candidate: an ID plus its deterministic features.
+type Molecule struct {
+	ID       int
+	Features [FeatureDim]float64
+}
+
+// splitmix64 is a tiny, high-quality hash for deterministic synthetic
+// data.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [-1, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// NewMolecule derives molecule id's features from the campaign seed.
+func NewMolecule(seed int64, id int) Molecule {
+	m := Molecule{ID: id}
+	for i := range m.Features {
+		m.Features[i] = unit(splitmix64(uint64(seed)*0x100000001b3 + uint64(id)*31 + uint64(i)))
+	}
+	return m
+}
+
+// Pool generates molecules [from, from+n).
+func Pool(seed int64, from, n int) []Molecule {
+	out := make([]Molecule, n)
+	for i := range out {
+		out[i] = NewMolecule(seed, from+i)
+	}
+	return out
+}
+
+// ipWeights is the hidden linear component of the IP landscape.
+var ipWeights = [FeatureDim]float64{
+	1.8, -1.2, 0.9, 0.5, -0.7, 1.1, 0.3, -0.4, 0.6, -0.9, 0.2, 0.8,
+}
+
+// TrueIP is the hidden ground-truth ionization potential: a linear
+// trend plus mild nonlinearity, in "eV" around 9.
+func TrueIP(m Molecule) float64 {
+	v := 9.0
+	for i, x := range m.Features {
+		v += 0.25 * ipWeights[i] * x
+	}
+	v += 0.2 * math.Sin(3*m.Features[0])
+	v += 0.15 * m.Features[1] * m.Features[2]
+	return v
+}
+
+// SimResult is one quantum-chemistry simulation outcome.
+type SimResult struct {
+	Molecule Molecule
+	IP       float64
+}
+
+// SimulatedIP is the "measured" IP: ground truth plus deterministic
+// per-molecule noise (the simulation is deterministic but imperfect).
+func SimulatedIP(seed int64, m Molecule) float64 {
+	noise := 0.05 * unit(splitmix64(uint64(seed)^uint64(m.ID)*0x9E3779B9))
+	return TrueIP(m) + noise
+}
+
+// SimCost is the deterministic CPU cost of simulating molecule m:
+// base plus a per-molecule spread, matching the heavy-tailed wall
+// times of real quantum chemistry.
+func SimCost(seed int64, m Molecule, base, spread time.Duration) time.Duration {
+	u := (unit(splitmix64(uint64(seed)*7919+uint64(m.ID))) + 1) / 2 // [0,1)
+	// Square the uniform draw for a right-skewed distribution.
+	return base + time.Duration(u*u*float64(spread))
+}

@@ -1,0 +1,114 @@
+package moldesign
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the ridge normal equations cannot be
+// solved (should not happen for lambda > 0).
+var ErrSingular = errors.New("moldesign: singular system")
+
+// Emulator is the trained IP predictor: linear weights plus bias over
+// the molecule features (the simulator stand-in for the campaign's
+// neural network; its *cost* is modelled separately via the MLP spec).
+type Emulator struct {
+	Weights [FeatureDim]float64
+	Bias    float64
+}
+
+// Predict returns the emulator's IP estimate.
+func (e *Emulator) Predict(m Molecule) float64 {
+	v := e.Bias
+	for i, w := range e.Weights {
+		v += w * m.Features[i]
+	}
+	return v
+}
+
+// FitRidge solves ridge regression (X'X + λI)w = X'y with a bias
+// column (the bias is not regularized).
+func FitRidge(data []SimResult, lambda float64) (*Emulator, error) {
+	if len(data) == 0 {
+		return nil, errors.New("moldesign: empty training set")
+	}
+	if lambda <= 0 {
+		lambda = 1e-6
+	}
+	const d = FeatureDim + 1 // +bias
+	var a [d][d]float64
+	var b [d]float64
+	for _, s := range data {
+		var x [d]float64
+		copy(x[:FeatureDim], s.Molecule.Features[:])
+		x[FeatureDim] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			b[i] += x[i] * s.IP
+		}
+	}
+	for i := 0; i < FeatureDim; i++ {
+		a[i][i] += lambda
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	var e Emulator
+	copy(e.Weights[:], w[:FeatureDim])
+	e.Bias = w[FeatureDim]
+	return &e, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// small dense system.
+func solve(a [FeatureDim + 1][FeatureDim + 1]float64, b [FeatureDim + 1]float64) ([FeatureDim + 1]float64, error) {
+	const d = FeatureDim + 1
+	for col := 0; col < d; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return b, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	var x [d]float64
+	for r := d - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < d; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// RMSE evaluates the emulator against simulated results.
+func RMSE(e *Emulator, data []SimResult) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var sse float64
+	for _, s := range data {
+		d := e.Predict(s.Molecule) - s.IP
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(data)))
+}

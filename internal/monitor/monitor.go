@@ -1,0 +1,259 @@
+// Package monitor is the analogue of Parsl's monitoring database
+// (the paper's Listing 1 configures a log_dir "to store monitoring DB
+// and parsl logs"): it records every task status transition from the
+// DFK and answers the queries the paper's analysis needed — per-app
+// latency statistics, per-worker busy time, queue delays, and
+// time-binned throughput.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Record is one completed (or failed) task's history.
+type Record struct {
+	TaskID   int
+	App      string
+	Executor string
+	Worker   string
+	Status   faas.TaskStatus
+	Submit   time.Duration
+	Start    time.Duration
+	End      time.Duration
+	Tries    int
+	Err      error
+}
+
+// QueueDelay is time from submission to execution start.
+func (r Record) QueueDelay() time.Duration { return r.Start - r.Submit }
+
+// RunTime is execution duration.
+func (r Record) RunTime() time.Duration { return r.End - r.Start }
+
+// DB accumulates task records. Attach to a DFK with Attach.
+type DB struct {
+	records []Record
+}
+
+// New creates an empty monitoring DB.
+func New() *DB { return &DB{} }
+
+// Attach subscribes the DB to a DFK's task events; terminal states
+// (done, failed) produce records.
+func (db *DB) Attach(d *faas.DFK) {
+	d.OnTaskEvent(func(ev faas.TaskEvent) {
+		if ev.Status != faas.TaskDone && ev.Status != faas.TaskFailed {
+			return
+		}
+		t := ev.Task
+		db.records = append(db.records, Record{
+			TaskID:   t.ID,
+			App:      t.App,
+			Executor: t.Executor,
+			Worker:   t.Worker,
+			Status:   ev.Status,
+			Submit:   t.SubmitTime,
+			Start:    t.StartTime,
+			End:      t.EndTime,
+			Tries:    t.Tries,
+			Err:      t.Err,
+		})
+	})
+}
+
+// Add inserts a record directly (tests, external sources).
+func (db *DB) Add(r Record) { db.records = append(db.records, r) }
+
+// Len returns the record count.
+func (db *DB) Len() int { return len(db.records) }
+
+// Records returns a copy of all records.
+func (db *DB) Records() []Record { return append([]Record(nil), db.records...) }
+
+// ByApp returns records for one app.
+func (db *DB) ByApp(app string) []Record {
+	var out []Record
+	for _, r := range db.records {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Failed returns the failed-task records.
+func (db *DB) Failed() []Record {
+	var out []Record
+	for _, r := range db.records {
+		if r.Status == faas.TaskFailed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AppStats summarizes one app's executions.
+type AppStats struct {
+	App        string
+	Count      int
+	Failures   int
+	RunTime    metrics.Durations
+	QueueDelay metrics.Durations
+}
+
+// Apps returns per-app statistics, sorted by app name.
+func (db *DB) Apps() []AppStats {
+	byApp := map[string]*AppStats{}
+	for _, r := range db.records {
+		s, ok := byApp[r.App]
+		if !ok {
+			s = &AppStats{App: r.App}
+			byApp[r.App] = s
+		}
+		s.Count++
+		if r.Status == faas.TaskFailed {
+			s.Failures++
+			continue
+		}
+		s.RunTime.Add(r.RunTime())
+		s.QueueDelay.Add(r.QueueDelay())
+	}
+	names := make([]string, 0, len(byApp))
+	for n := range byApp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]AppStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byApp[n])
+	}
+	return out
+}
+
+// WorkerBusy returns each worker's busy time (sum of run times),
+// sorted by worker name.
+type WorkerBusy struct {
+	Worker string
+	Tasks  int
+	Busy   time.Duration
+}
+
+// Workers aggregates per-worker busy time.
+func (db *DB) Workers() []WorkerBusy {
+	byW := map[string]*WorkerBusy{}
+	for _, r := range db.records {
+		if r.Worker == "" {
+			continue
+		}
+		w, ok := byW[r.Worker]
+		if !ok {
+			w = &WorkerBusy{Worker: r.Worker}
+			byW[r.Worker] = w
+		}
+		w.Tasks++
+		w.Busy += r.RunTime()
+	}
+	names := make([]string, 0, len(byW))
+	for n := range byW {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]WorkerBusy, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byW[n])
+	}
+	return out
+}
+
+// Throughput bins completions into fixed windows and returns
+// completions per second per bin (a utilization-over-time series).
+func (db *DB) Throughput(bin time.Duration) []float64 {
+	if bin <= 0 || len(db.records) == 0 {
+		return nil
+	}
+	var end time.Duration
+	for _, r := range db.records {
+		if r.End > end {
+			end = r.End
+		}
+	}
+	n := int(end/bin) + 1
+	out := make([]float64, n)
+	for _, r := range db.records {
+		if r.Status != faas.TaskDone {
+			continue
+		}
+		out[int(r.End/bin)] += 1
+	}
+	for i := range out {
+		out[i] /= bin.Seconds()
+	}
+	return out
+}
+
+// Spans exports the records as a trace.Log for Gantt rendering —
+// exactly the view the paper's Fig. 3 is drawn from.
+func (db *DB) Spans() *trace.Log {
+	var log trace.Log
+	for _, r := range db.records {
+		log.Add(trace.Span{
+			Track: r.Worker,
+			Label: fmt.Sprintf("task-%d", r.TaskID),
+			Kind:  r.App,
+			Start: r.Start,
+			End:   r.End,
+		})
+	}
+	return &log
+}
+
+// Report renders the summary tables.
+func (db *DB) Report(w io.Writer) error {
+	fmt.Fprintf(w, "monitoring: %d task records\n\napps:\n", db.Len())
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tcount\tfailures\tmean run (s)\tp95 run (s)\tmean queue (s)")
+	for _, a := range db.Apps() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%.3f\n",
+			a.App, a.Count, a.Failures,
+			a.RunTime.Mean().Seconds(), a.RunTime.Percentile(95).Seconds(),
+			a.QueueDelay.Mean().Seconds())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nworkers:")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "worker\ttasks\tbusy (s)")
+	for _, wk := range db.Workers() {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\n", wk.Worker, wk.Tasks, wk.Busy.Seconds())
+	}
+	return tw.Flush()
+}
+
+// WriteCSV dumps the records as CSV.
+func (db *DB) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "task_id,app,executor,worker,status,submit_s,start_s,end_s,tries,error"); err != nil {
+		return err
+	}
+	for _, r := range db.records {
+		errStr := ""
+		if r.Err != nil {
+			errStr = strings.ReplaceAll(r.Err.Error(), ",", ";")
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%.6f,%.6f,%.6f,%d,%s\n",
+			r.TaskID, r.App, r.Executor, r.Worker, r.Status,
+			r.Submit.Seconds(), r.Start.Seconds(), r.End.Seconds(), r.Tries, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/faas/htex"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+)
+
+func rigWithDB(t *testing.T) (*devent.Env, *faas.DFK, *DB) {
+	t.Helper()
+	env := devent.NewEnv()
+	node := gpuctl.NewNode(env)
+	ex, err := htex.New(env, htex.Config{Label: "cpu", MaxWorkers: 2, Provider: provider.NewLocal(env, node)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := faas.NewDFK(env, faas.Config{Retries: 1}, ex)
+	db := New()
+	db.Attach(d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return env, d, db
+}
+
+func TestAttachRecordsTerminalStates(t *testing.T) {
+	env, d, db := rigWithDB(t)
+	d.Register(faas.App{Name: "ok", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(time.Second)
+		return nil, nil
+	}})
+	boom := errors.New("boom")
+	d.Register(faas.App{Name: "bad", Executor: "cpu", Fn: func(*faas.Invocation) (any, error) {
+		return nil, boom
+	}})
+	env.Spawn("main", func(p *devent.Proc) {
+		f1 := d.Submit("ok")
+		f2 := d.Submit("bad")
+		f1.Result(p)
+		f2.Result(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("records = %d", db.Len())
+	}
+	if len(db.Failed()) != 1 {
+		t.Fatalf("failed = %d", len(db.Failed()))
+	}
+	okRecs := db.ByApp("ok")
+	if len(okRecs) != 1 || okRecs[0].RunTime() != time.Second || okRecs[0].Worker == "" {
+		t.Fatalf("ok record = %+v", okRecs)
+	}
+}
+
+func TestAppStatsAndWorkers(t *testing.T) {
+	env, d, db := rigWithDB(t)
+	d.Register(faas.App{Name: "work", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(2 * time.Second)
+		return nil, nil
+	}})
+	env.Spawn("main", func(p *devent.Proc) {
+		evs := make([]*devent.Event, 4)
+		for i := range evs {
+			evs[i] = d.Submit("work").Event()
+		}
+		p.Wait(devent.AllOf(env, evs...))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	apps := db.Apps()
+	if len(apps) != 1 || apps[0].Count != 4 || apps[0].Failures != 0 {
+		t.Fatalf("apps = %+v", apps)
+	}
+	if apps[0].RunTime.Mean() != 2*time.Second {
+		t.Fatalf("mean run = %v", apps[0].RunTime.Mean())
+	}
+	// Two tasks per worker on the 2-worker pool: queue delay for the
+	// second pair is 2 s.
+	if apps[0].QueueDelay.Max() != 2*time.Second {
+		t.Fatalf("max queue = %v", apps[0].QueueDelay.Max())
+	}
+	workers := db.Workers()
+	if len(workers) != 2 {
+		t.Fatalf("workers = %+v", workers)
+	}
+	for _, w := range workers {
+		if w.Tasks != 2 || w.Busy != 4*time.Second {
+			t.Fatalf("worker = %+v", w)
+		}
+	}
+}
+
+func TestThroughputBins(t *testing.T) {
+	db := New()
+	for i, end := range []time.Duration{500 * time.Millisecond, 800 * time.Millisecond, 1500 * time.Millisecond} {
+		db.Add(Record{TaskID: i, App: "a", Status: faas.TaskDone, End: end})
+	}
+	bins := db.Throughput(time.Second)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0] != 2 || bins[1] != 1 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if db.Throughput(0) != nil {
+		t.Fatal("zero bin accepted")
+	}
+}
+
+func TestSpansExport(t *testing.T) {
+	db := New()
+	db.Add(Record{TaskID: 1, App: "train", Worker: "w0", Status: faas.TaskDone,
+		Start: time.Second, End: 3 * time.Second})
+	log := db.Spans()
+	if log.Len() != 1 {
+		t.Fatalf("spans = %d", log.Len())
+	}
+	sp := log.Spans()[0]
+	if sp.Kind != "train" || sp.Track != "w0" || sp.Duration() != 2*time.Second {
+		t.Fatalf("span = %+v", sp)
+	}
+}
+
+func TestReportAndCSV(t *testing.T) {
+	db := New()
+	db.Add(Record{TaskID: 1, App: "infer", Worker: "w0", Status: faas.TaskDone,
+		Submit: 0, Start: time.Second, End: 2 * time.Second, Tries: 1})
+	db.Add(Record{TaskID: 2, App: "infer", Worker: "w0", Status: faas.TaskFailed,
+		Err: errors.New("oom, badly")})
+	var rep strings.Builder
+	if err := db.Report(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "infer") || !strings.Contains(rep.String(), "w0") {
+		t.Fatalf("report:\n%s", rep.String())
+	}
+	var csv strings.Builder
+	if err := db.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.HasPrefix(out, "task_id,app,") {
+		t.Fatalf("csv header: %q", out)
+	}
+	// Error commas are sanitized to keep the CSV rectangular.
+	if !strings.Contains(out, "oom; badly") {
+		t.Fatalf("csv error field: %q", out)
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// WriteFigureCSVs regenerates the quantitative figure series and
+// writes them as CSV files (fig2.csv, fig4.csv, fig5.csv) into dir,
+// ready for external plotting. Runs are deterministic, so the files
+// match the text reports exactly.
+func WriteFigureCSVs(dir string, completions int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFig2CSV(filepath.Join(dir, "fig2.csv")); err != nil {
+		return err
+	}
+	return writeFig45CSV(
+		filepath.Join(dir, "fig4.csv"),
+		filepath.Join(dir, "fig5.csv"),
+		completions,
+	)
+}
+
+func writeFig2CSV(path string) error {
+	res, err := core.Fig2Sweep([]int{5, 10, 15, 19, 25, 37, 50, 75, 100})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "model,mps_percent,sms,latency_s"); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if _, err := fmt.Fprintf(f, "%s,%d,%d,%.6f\n", p.Model, p.Percent, p.SMs, p.Latency.Seconds()); err != nil {
+			return err
+		}
+	}
+	for model, cpu := range res.CPUBaselines {
+		if _, err := fmt.Fprintf(f, "%s-cpu,0,0,%.6f\n", model, cpu.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig45CSV(fig4Path, fig5Path string, completions int) error {
+	if completions <= 0 {
+		completions = 100
+	}
+	f4, err := os.Create(fig4Path)
+	if err != nil {
+		return err
+	}
+	defer f4.Close()
+	f5, err := os.Create(fig5Path)
+	if err != nil {
+		return err
+	}
+	defer f5.Close()
+	if err := writeHeader(f4, "mode,processes,makespan_s,throughput_per_s,utilization"); err != nil {
+		return err
+	}
+	if err := writeHeader(f5, "mode,processes,mean_latency_s,p95_latency_s"); err != nil {
+		return err
+	}
+	for _, mode := range []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG} {
+		for n := 1; n <= 4; n++ {
+			r, err := core.RunMultiplex(core.MultiplexConfig{Mode: mode, Processes: n, Completions: completions})
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(f4, "%s,%d,%.3f,%.5f,%.4f\n",
+				mode, n, r.Makespan.Seconds(), r.Throughput, r.Utilization); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(f5, "%s,%d,%.4f,%.4f\n",
+				mode, n, r.MeanLatency().Seconds(), r.Latencies.Percentile(95).Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, h string) error {
+	_, err := fmt.Fprintln(w, h)
+	return err
+}

@@ -1,0 +1,178 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/moldesign"
+)
+
+func TestFig1Report(t *testing.T) {
+	var b strings.Builder
+	if err := Fig1(&b, []int{1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"resnet50", "resnet101", "vgg16", "alexnet",
+		"GFLOPs(b=1)", "GFLOPs(b=8)", "dynamic range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+	// ResNet-50's stem conv shows up with its well-known cost.
+	if !strings.Contains(out, "conv1") {
+		t.Error("missing conv1 row")
+	}
+}
+
+func TestFig2Report(t *testing.T) {
+	var b strings.Builder
+	if err := Fig2(&b, []int{10, 19, 100}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"llama2-7b", "llama2-13b", "CPU baseline", "180.00", "360.00", "~20 SMs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3Report(t *testing.T) {
+	cfg := moldesign.DefaultConfig()
+	cfg.InitialPool = 8
+	cfg.CandidatePool = 500
+	cfg.BatchSize = 4
+	cfg.Rounds = 2
+	var b strings.Builder
+	if err := Fig3(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"simulation", "training", "inference", "GPU busy fraction", "timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig45Report(t *testing.T) {
+	var b strings.Builder
+	if err := Fig45(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig 4", "Fig 5", "timeshare", "MPS", "MIG",
+		"headline claims", "throughput, 4-way MPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig45 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"technique", "timeshare", "mps-default", "mig", "vgpu",
+		"nvidia-cuda-mps-control", "nvidia-smi", "NVIDIA vGPU driver"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestColdStartAndReconfigReports(t *testing.T) {
+	var b strings.Builder
+	if err := ColdStart(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Reconfig(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"model load", "llama2-13b fp32", "MPS repartition", "weight cache", "MIG re-layout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRightsizeReport(t *testing.T) {
+	var b strings.Builder
+	if err := Rightsize(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"knee", "recommendation", "MIG profile", "static estimate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rightsize output missing %q", want)
+		}
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	var b strings.Builder
+	if err := Ablations(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D",
+		"MIG penalty", "batch x4", "multiplex MPS x4", "quantum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations output missing %q", want)
+		}
+	}
+}
+
+func TestMixedTenancyReport(t *testing.T) {
+	var b strings.Builder
+	if err := MixedTenancy(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"resnet p99", "meets 100ms", "timeshare", "mig"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mixed output missing %q", want)
+		}
+	}
+}
+
+func TestWriteFigureCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFigureCSVs(dir, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.csv", "fig4.csv", "fig5.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 5 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+	}
+	// fig4 has 12 rows (3 modes × 4 process counts) plus a header.
+	data, _ := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if got := strings.Count(string(data), "\n"); got != 13 {
+		t.Errorf("fig4 rows = %d", got-1)
+	}
+}
+
+func TestOpenLoopReport(t *testing.T) {
+	var b strings.Builder
+	if err := OpenLoop(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"stable", "p99", "timeshare", "mps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("openloop output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rightsize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/devent"
+	"repro/internal/simgpu"
+)
+
+// ErrUnpackable is returned when tenant demands cannot be satisfied
+// on one device.
+var ErrUnpackable = errors.New("rightsize: demands do not fit the device")
+
+// TenantDemand is one workload's right-sized requirement (typically
+// from Recommend): SMs at the latency knee plus memory footprint.
+type TenantDemand struct {
+	Name     string
+	SMs      int
+	MemBytes int64
+}
+
+// MPSAssignment is one tenant's GPU-percentage share.
+type MPSAssignment struct {
+	Tenant  string
+	Percent int
+}
+
+// MPSPlan is a percentage partitioning of one device.
+type MPSPlan struct {
+	Assignments []MPSAssignment
+	// TotalPercent may exceed 100: MPS allows oversubscription, the
+	// hardware then time-multiplexes (flagged so operators can see
+	// it).
+	TotalPercent   int
+	Oversubscribed bool
+}
+
+// PackMPS assigns each tenant the smallest percentage granting its SM
+// demand. Memory is checked against the single shared pool (MPS has
+// no isolation, but capacity is still physical).
+func PackMPS(spec simgpu.DeviceSpec, demands []TenantDemand) (*MPSPlan, error) {
+	var mem int64
+	plan := &MPSPlan{}
+	for _, d := range demands {
+		if d.SMs <= 0 || d.SMs > spec.SMs {
+			return nil, fmt.Errorf("%w: tenant %q wants %d SMs of %d", ErrUnpackable, d.Name, d.SMs, spec.SMs)
+		}
+		mem += d.MemBytes
+		pct := int(math.Ceil(float64(d.SMs) / float64(spec.SMs) * 100))
+		plan.Assignments = append(plan.Assignments, MPSAssignment{Tenant: d.Name, Percent: pct})
+		plan.TotalPercent += pct
+	}
+	if mem > spec.MemBytes {
+		return nil, fmt.Errorf("%w: memory %d exceeds %d", ErrUnpackable, mem, spec.MemBytes)
+	}
+	plan.Oversubscribed = plan.TotalPercent > 100
+	return plan, nil
+}
+
+// MIGAssignment is one tenant's MIG profile.
+type MIGAssignment struct {
+	Tenant  string
+	Profile string
+}
+
+// MIGPlan is a placement-validated instance layout.
+type MIGPlan struct {
+	// Assignments pair tenants with profiles, in input order.
+	Assignments []MIGAssignment
+	// Layout is the profile list in the creation order that places
+	// successfully (largest first).
+	Layout []string
+}
+
+// PackMIG picks, for every tenant, the smallest profile covering its
+// SM and memory demand, then validates that the resulting layout
+// actually places on the device (slice and memory-slice constraints
+// included), using the simulator's own placement engine.
+func PackMIG(spec simgpu.DeviceSpec, demands []TenantDemand) (*MIGPlan, error) {
+	profiles := simgpu.MIGProfilesFor(spec)
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("%w: %s has no MIG support", ErrUnpackable, spec.Name)
+	}
+	plan := &MIGPlan{}
+	type sized struct {
+		profile string
+		slices  int
+	}
+	var chosen []sized
+	for _, d := range demands {
+		found := ""
+		sl := 0
+		for _, p := range profiles { // ordered small → large
+			if p.Slices*spec.SMsPerSlice >= d.SMs && p.MemBytes >= d.MemBytes {
+				found, sl = p.Name, p.Slices
+				break
+			}
+		}
+		if found == "" {
+			return nil, fmt.Errorf("%w: no profile covers tenant %q (%d SMs, %d bytes)",
+				ErrUnpackable, d.Name, d.SMs, d.MemBytes)
+		}
+		plan.Assignments = append(plan.Assignments, MIGAssignment{Tenant: d.Name, Profile: found})
+		chosen = append(chosen, sized{found, sl})
+	}
+	// Place largest-first: the A100 placement table is feasibility-
+	// monotone under this order for any satisfiable multiset.
+	sort.SliceStable(chosen, func(i, j int) bool { return chosen[i].slices > chosen[j].slices })
+	for _, c := range chosen {
+		plan.Layout = append(plan.Layout, c.profile)
+	}
+	if err := validateLayout(spec, plan.Layout); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// validateLayout materializes the layout on a throwaway device.
+func validateLayout(spec simgpu.DeviceSpec, layout []string) error {
+	env := devent.NewEnv()
+	dev, err := simgpu.NewDevice(env, "probe", spec)
+	if err != nil {
+		return err
+	}
+	if err := dev.EnableMIG(nil); err != nil {
+		return err
+	}
+	for _, prof := range layout {
+		if _, err := dev.CreateInstance(prof); err != nil {
+			return fmt.Errorf("%w: layout %v: %v", ErrUnpackable, layout, err)
+		}
+	}
+	return nil
+}

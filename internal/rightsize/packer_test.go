@@ -1,0 +1,145 @@
+package rightsize
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simgpu"
+)
+
+func TestPackMPSBasics(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	plan, err := PackMPS(spec, []TenantDemand{
+		{Name: "llama", SMs: 21, MemBytes: 18 * simgpu.GB},
+		{Name: "resnet", SMs: 10, MemBytes: simgpu.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignments[0].Percent != 20 || plan.Assignments[1].Percent != 10 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Oversubscribed {
+		t.Fatal("30% total flagged oversubscribed")
+	}
+}
+
+func TestPackMPSOversubscription(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	plan, err := PackMPS(spec, []TenantDemand{
+		{Name: "a", SMs: 80, MemBytes: simgpu.GB},
+		{Name: "b", SMs: 80, MemBytes: simgpu.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Oversubscribed || plan.TotalPercent <= 100 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPackMPSMemoryBound(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	_, err := PackMPS(spec, []TenantDemand{
+		{Name: "a", SMs: 10, MemBytes: 50 * simgpu.GB},
+		{Name: "b", SMs: 10, MemBytes: 50 * simgpu.GB},
+	})
+	if !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackMPSInvalidSMs(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	if _, err := PackMPS(spec, []TenantDemand{{Name: "x", SMs: 0}}); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := PackMPS(spec, []TenantDemand{{Name: "x", SMs: 500}}); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackMIGPicksSmallestCoveringProfile(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	plan, err := PackMIG(spec, []TenantDemand{
+		{Name: "llama", SMs: 21, MemBytes: 18 * simgpu.GB}, // needs 2g SMs but 20GB mem ⇒ 2g.20gb
+		{Name: "resnet", SMs: 10, MemBytes: 1 * simgpu.GB}, // 1g.10gb
+		{Name: "big", SMs: 50, MemBytes: 35 * simgpu.GB},   // 4g.40gb
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"llama": "2g.20gb", "resnet": "1g.10gb", "big": "4g.40gb"}
+	for _, a := range plan.Assignments {
+		if want[a.Tenant] != a.Profile {
+			t.Fatalf("tenant %s got %s, want %s", a.Tenant, a.Profile, want[a.Tenant])
+		}
+	}
+	// Largest first in the layout.
+	if plan.Layout[0] != "4g.40gb" {
+		t.Fatalf("layout = %v", plan.Layout)
+	}
+}
+
+func TestPackMIGDetectsInfeasibleLayout(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	// Two 4g instances can never place together.
+	_, err := PackMIG(spec, []TenantDemand{
+		{Name: "a", SMs: 50, MemBytes: simgpu.GB},
+		{Name: "b", SMs: 50, MemBytes: simgpu.GB},
+	})
+	if !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackMIGDemandTooLarge(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	if _, err := PackMIG(spec, []TenantDemand{{Name: "x", SMs: 99, MemBytes: 90 * simgpu.GB}}); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackMIGNoMIGSupport(t *testing.T) {
+	if _, err := PackMIG(simgpu.MI210(), []TenantDemand{{Name: "x", SMs: 10}}); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: whenever PackMIG succeeds, every tenant's profile covers
+// its demand and the layout materializes on a real device.
+func TestQuickPackMIGSound(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 4 {
+			return true
+		}
+		var demands []TenantDemand
+		for i, r := range raw {
+			demands = append(demands, TenantDemand{
+				Name:     string(rune('a' + i)),
+				SMs:      int(r%60) + 1,
+				MemBytes: int64(r%30+1) * simgpu.GB,
+			})
+		}
+		plan, err := PackMIG(spec, demands)
+		if err != nil {
+			return true // infeasible inputs are allowed to fail
+		}
+		profByName := map[string]simgpu.MIGProfile{}
+		for _, p := range simgpu.MIGProfilesFor(spec) {
+			profByName[p.Name] = p
+		}
+		for i, a := range plan.Assignments {
+			p := profByName[a.Profile]
+			if p.Slices*spec.SMsPerSlice < demands[i].SMs || p.MemBytes < demands[i].MemBytes {
+				return false
+			}
+		}
+		return validateLayout(spec, plan.Layout) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package simgpu
+
+import "sort"
+
+// MaxMinFair allocates capacity among demands using max–min (water
+// filling) fairness: every demand receives min(demand, fair share),
+// with capacity left by small demands redistributed to larger ones.
+// Negative demands are treated as zero. The returned slice is aligned
+// with demands. Invariants (property-tested):
+//
+//	alloc[i] <= demands[i]
+//	sum(alloc) <= capacity (within floating-point tolerance)
+//	if sum(demands) <= capacity, alloc == demands
+//	allocations are monotone in demand: demands[i] <= demands[j]
+//	implies alloc[i] <= alloc[j].
+func MaxMinFair(capacity float64, demands []float64) []float64 {
+	alloc := make([]float64, len(demands))
+	if capacity <= 0 || len(demands) == 0 {
+		return alloc
+	}
+	idx := make([]int, len(demands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return demand(demands[idx[a]]) < demand(demands[idx[b]]) })
+	remaining := capacity
+	left := len(demands)
+	for _, i := range idx {
+		d := demand(demands[i])
+		share := remaining / float64(left)
+		if d <= share {
+			alloc[i] = d
+			remaining -= d
+		} else {
+			alloc[i] = share
+			remaining -= share
+		}
+		left--
+	}
+	return alloc
+}
+
+func demand(d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,98 @@
+package simgpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMinFairUncontended(t *testing.T) {
+	alloc := MaxMinFair(100, []float64{10, 20, 30})
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1e-9 {
+			t.Fatalf("alloc = %v", alloc)
+		}
+	}
+}
+
+func TestMaxMinFairContended(t *testing.T) {
+	// Demands 10, 50, 90 into capacity 90: 10 gets 10; remaining 80
+	// split between two → 40 each.
+	alloc := MaxMinFair(90, []float64{10, 50, 90})
+	want := []float64{10, 40, 40}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1e-9 {
+			t.Fatalf("alloc = %v want %v", alloc, want)
+		}
+	}
+}
+
+func TestMaxMinFairEqualDemands(t *testing.T) {
+	alloc := MaxMinFair(100, []float64{100, 100, 100, 100})
+	for _, a := range alloc {
+		if math.Abs(a-25) > 1e-9 {
+			t.Fatalf("alloc = %v", alloc)
+		}
+	}
+}
+
+func TestMaxMinFairEdgeCases(t *testing.T) {
+	if got := MaxMinFair(0, []float64{5}); got[0] != 0 {
+		t.Fatalf("zero capacity: %v", got)
+	}
+	if got := MaxMinFair(10, nil); len(got) != 0 {
+		t.Fatalf("nil demands: %v", got)
+	}
+	if got := MaxMinFair(10, []float64{-5, 20}); got[0] != 0 || math.Abs(got[1]-10) > 1e-9 {
+		t.Fatalf("negative demand: %v", got)
+	}
+}
+
+func TestQuickMaxMinFairInvariants(t *testing.T) {
+	f := func(capRaw uint16, demRaw []uint16) bool {
+		capacity := float64(capRaw)
+		demands := make([]float64, len(demRaw))
+		var sum float64
+		for i, r := range demRaw {
+			demands[i] = float64(r)
+			sum += demands[i]
+		}
+		alloc := MaxMinFair(capacity, demands)
+		var total float64
+		for i, a := range alloc {
+			if a < -1e-9 || a > demands[i]+1e-9 {
+				return false // never exceed demand
+			}
+			total += a
+		}
+		if total > capacity+1e-6 {
+			return false // never exceed capacity
+		}
+		if sum <= capacity {
+			// feasible: everyone gets their demand
+			for i := range alloc {
+				if math.Abs(alloc[i]-demands[i]) > 1e-6 {
+					return false
+				}
+			}
+		} else if capacity > 0 && len(demands) > 0 {
+			// work conserving when contended
+			if math.Abs(total-capacity) > 1e-6 {
+				return false
+			}
+		}
+		// monotone in demand
+		for i := range demands {
+			for j := range demands {
+				if demands[i] <= demands[j] && alloc[i] > alloc[j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

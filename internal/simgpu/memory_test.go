@@ -1,0 +1,124 @@
+package simgpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMemPoolAllocFree(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	a, err := m.Alloc("a", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 60 || m.Free() != 40 {
+		t.Fatalf("used=%d free=%d", m.Used(), m.Free())
+	}
+	if _, err := m.Alloc("b", 50); !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	a.Release()
+	if !a.Freed() || m.Used() != 0 {
+		t.Fatalf("freed=%v used=%d", a.Freed(), m.Used())
+	}
+	if _, err := m.Alloc("b", 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemPoolDuplicateName(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	if _, err := m.Alloc("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("x", 1); err == nil {
+		t.Fatal("duplicate name allowed")
+	}
+}
+
+func TestMemPoolGeneratedNames(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	a, _ := m.Alloc("", 1)
+	b, _ := m.Alloc("", 1)
+	if a.Name() == b.Name() {
+		t.Fatalf("generated names collide: %s", a.Name())
+	}
+}
+
+func TestMemPoolNegativeAlloc(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	if _, err := m.Alloc("n", -1); err == nil {
+		t.Fatal("negative alloc allowed")
+	}
+}
+
+func TestSharedSegmentRefcount(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	s, err := m.AllocShared("model", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Refs() != 1 {
+		t.Fatalf("refs = %d", s.Refs())
+	}
+	s.Retain()
+	s.Release()
+	if s.Freed() {
+		t.Fatal("freed with live ref")
+	}
+	s.Release()
+	if !s.Freed() || m.Used() != 0 {
+		t.Fatal("not reclaimed at zero refs")
+	}
+}
+
+func TestPinnedSegmentSurvivesZeroRefs(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	s, _ := m.AllocShared("model", 80)
+	s.Pin()
+	s.Release()
+	if s.Freed() {
+		t.Fatal("pinned segment reclaimed")
+	}
+	if m.Lookup("model") != s {
+		t.Fatal("pinned segment not findable")
+	}
+	// Reattach (the weight-cache fast path), then unpin and release.
+	s.Retain()
+	s.Release()
+	s.Unpin()
+	if !s.Freed() {
+		t.Fatal("segment should be reclaimed after unpin at zero refs")
+	}
+}
+
+func TestRetainOnNonSharedPanics(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	s, _ := m.Alloc("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Retain()
+}
+
+func TestDoubleReleaseIsSafe(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	s, _ := m.Alloc("x", 10)
+	s.Release()
+	s.Release() // no panic, no double-free accounting
+	if m.Used() != 0 {
+		t.Fatalf("used = %d", m.Used())
+	}
+}
+
+func TestSegmentsListing(t *testing.T) {
+	m := NewMemPool("dev", 100)
+	m.Alloc("b", 1)
+	m.Alloc("a", 1)
+	got := m.Segments()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("segments = %v", got)
+	}
+}

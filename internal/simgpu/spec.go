@@ -1,0 +1,152 @@
+// Package simgpu is a discrete-event GPU simulator.
+//
+// It models a data-center accelerator at the granularity the paper's
+// evaluation depends on: streaming multiprocessors (SMs), HBM
+// bandwidth, device memory capacity, kernel launch overhead, context
+// initialization, and the sharing semantics of NVIDIA's multiplexing
+// mechanisms (Table 1 of the paper):
+//
+//   - default time-sharing: kernels from different contexts serialize,
+//     each getting the whole device;
+//   - CUDA MPS (default): kernels from different processes run
+//     concurrently, sharing SMs and memory bandwidth;
+//   - CUDA MPS with GPU percentage: per-process SM caps
+//     (CUDA_MPS_ACTIVE_THREAD_PERCENTAGE semantics), no memory
+//     isolation;
+//   - Multi-Instance GPU (MIG): hardware slices with compute and
+//     memory isolation, reconfigurable only via device reset;
+//   - vGPU: homogeneous group-level time slicing.
+//
+// Kernels follow a roofline model: duration on s SMs with allocated
+// bandwidth b is overhead + max(FLOPs/(s·perSM), Bytes/b), with a
+// per-kernel parallelism bound MaxSMs. Concurrent kernels share SMs
+// and bandwidth under max–min fairness, re-evaluated whenever the
+// running set changes (processor sharing).
+package simgpu
+
+import "time"
+
+// DeviceSpec describes the hardware being simulated.
+type DeviceSpec struct {
+	// Name identifies the part, e.g. "A100-SXM4-80GB".
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// MemBytes is device memory capacity in bytes.
+	MemBytes int64
+	// FP32FLOPS is peak single-precision throughput in FLOP/s for the
+	// whole device; per-SM throughput is FP32FLOPS/SMs.
+	FP32FLOPS float64
+	// MemBW is HBM bandwidth in bytes/s for the whole device.
+	MemBW float64
+	// PCIeBW is host-to-device copy bandwidth in bytes/s.
+	PCIeBW float64
+	// HostLoadBW is the effective end-to-end model-loading bandwidth
+	// (storage → host → device) in bytes/s; slower than raw PCIe.
+	HostLoadBW float64
+	// ContextInit is the time to create a GPU context (driver+runtime
+	// initialization), part of the serverless cold start.
+	ContextInit time.Duration
+	// ContextSwitch is the penalty charged when the time-sharing
+	// scheduler switches between kernels of different contexts.
+	ContextSwitch time.Duration
+	// ResetTime is the cost of a device reset, required to enable MIG
+	// mode or change the MIG partition layout.
+	ResetTime time.Duration
+	// MIGSlices is the number of compute slices in MIG mode (7 on
+	// A100/H100); 0 disables MIG support.
+	MIGSlices int
+	// SMsPerSlice is the number of SMs per MIG compute slice (14 on
+	// A100: 98 of 108 SMs usable under MIG).
+	SMsPerSlice int
+	// MemSlices is the number of memory slices (8 on A100); MIG
+	// profiles claim whole memory slices, which also sets their share
+	// of MemBW.
+	MemSlices int
+}
+
+// PerSMFLOPS returns single-precision throughput per SM.
+func (s DeviceSpec) PerSMFLOPS() float64 {
+	if s.SMs == 0 {
+		return 0
+	}
+	return s.FP32FLOPS / float64(s.SMs)
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s DeviceSpec) Validate() error {
+	switch {
+	case s.SMs <= 0:
+		return errSpec("SMs must be positive")
+	case s.MemBytes <= 0:
+		return errSpec("MemBytes must be positive")
+	case s.FP32FLOPS <= 0:
+		return errSpec("FP32FLOPS must be positive")
+	case s.MemBW <= 0:
+		return errSpec("MemBW must be positive")
+	case s.MIGSlices < 0 || s.SMsPerSlice < 0 || s.MemSlices < 0:
+		return errSpec("MIG geometry must be non-negative")
+	case s.MIGSlices > 0 && s.MIGSlices*s.SMsPerSlice > s.SMs:
+		return errSpec("MIG slices exceed SM count")
+	}
+	return nil
+}
+
+type specError string
+
+func errSpec(s string) error      { return specError(s) }
+func (e specError) Error() string { return "simgpu: invalid spec: " + string(e) }
+
+const (
+	// GiB is 2^30 bytes.
+	GiB = int64(1) << 30
+	// GB is 10^9 bytes (marketing gigabytes, as in "40 GB A100").
+	GB = int64(1e9)
+)
+
+// A100SXM440GB returns the spec of the paper's primary testbed GPU.
+func A100SXM440GB() DeviceSpec {
+	return DeviceSpec{
+		Name:          "A100-SXM4-40GB",
+		SMs:           108,
+		MemBytes:      40 * GB,
+		FP32FLOPS:     19.5e12,
+		MemBW:         1.555e12,
+		PCIeBW:        25e9,
+		HostLoadBW:    5e9,
+		ContextInit:   800 * time.Millisecond,
+		ContextSwitch: 50 * time.Microsecond,
+		ResetTime:     1500 * time.Millisecond,
+		MIGSlices:     7,
+		SMsPerSlice:   14,
+		MemSlices:     8,
+	}
+}
+
+// A100SXM480GB returns the 80 GB A100 used for the multi-instance
+// LLaMa-2 experiments (Figs. 4 and 5).
+func A100SXM480GB() DeviceSpec {
+	s := A100SXM440GB()
+	s.Name = "A100-SXM4-80GB"
+	s.MemBytes = 80 * GB
+	s.MemBW = 2.039e12
+	return s
+}
+
+// MI210 returns an AMD MI210-like spec (Table 1 mentions AMD
+// equivalents; CU masking plays the role of MPS percentages).
+func MI210() DeviceSpec {
+	return DeviceSpec{
+		Name:          "MI210",
+		SMs:           104, // compute units
+		MemBytes:      64 * GB,
+		FP32FLOPS:     22.6e12,
+		MemBW:         1.6e12,
+		PCIeBW:        32e9,
+		HostLoadBW:    5e9,
+		ContextInit:   700 * time.Millisecond,
+		ContextSwitch: 50 * time.Microsecond,
+		ResetTime:     1500 * time.Millisecond,
+		// No MIG equivalent (Table 1: "AMD equivalent: none").
+	}
+}

@@ -1,0 +1,314 @@
+// Package trace collects execution spans (task phases, kernel runs)
+// and renders them as Gantt charts, CSV, and idle-time statistics —
+// the instrumentation behind the paper's Fig. 3, which shows the
+// molecular-design campaign's simulation/training/inference phases and
+// the GPU idle gaps between inference bursts.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Span is one timed activity on a named track.
+type Span struct {
+	// Track is the row the span renders on (worker, device, phase).
+	Track string
+	// Label describes the activity (app name, kernel name).
+	Label string
+	// Kind groups spans for filtering and glyph selection
+	// ("simulation", "training", "inference").
+	Kind string
+	// Start and End are virtual times.
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Log is an append-only span collection.
+type Log struct {
+	spans []Span
+}
+
+// Add appends a span; zero-length and negative spans are kept (they
+// mark instants) but never break interval math.
+func (l *Log) Add(s Span) {
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	l.spans = append(l.spans, s)
+}
+
+// Len returns the span count.
+func (l *Log) Len() int { return len(l.spans) }
+
+// Spans returns a copy of all spans.
+func (l *Log) Spans() []Span { return append([]Span(nil), l.spans...) }
+
+// OfKind returns the spans with the given kind.
+func (l *Log) OfKind(kind string) []Span {
+	var out []Span
+	for _, s := range l.spans {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Kinds returns the distinct kinds in first-seen order.
+func (l *Log) Kinds() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range l.spans {
+		if !seen[s.Kind] {
+			seen[s.Kind] = true
+			out = append(out, s.Kind)
+		}
+	}
+	return out
+}
+
+// Makespan returns the latest span end.
+func (l *Log) Makespan() time.Duration {
+	var m time.Duration
+	for _, s := range l.spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Interval is a half-open [Start, End) time range.
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Duration returns End-Start.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Union merges possibly overlapping spans into disjoint intervals in
+// increasing time order.
+func Union(spans []Span) []Interval {
+	if len(spans) == 0 {
+		return nil
+	}
+	ivs := make([]Interval, 0, len(spans))
+	for _, s := range spans {
+		if s.End > s.Start {
+			ivs = append(ivs, Interval{s.Start, s.End})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	var out []Interval
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && iv.Start <= out[n-1].End {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Gaps returns the idle intervals between the merged coverage of the
+// spans, within [from, to].
+func Gaps(spans []Span, from, to time.Duration) []Interval {
+	cov := Union(spans)
+	var out []Interval
+	cursor := from
+	for _, iv := range cov {
+		if iv.End <= from {
+			continue
+		}
+		if iv.Start >= to {
+			break
+		}
+		if iv.Start > cursor {
+			out = append(out, Interval{cursor, iv.Start})
+		}
+		if iv.End > cursor {
+			cursor = iv.End
+		}
+	}
+	if cursor < to {
+		out = append(out, Interval{cursor, to})
+	}
+	return out
+}
+
+// BusyFraction returns covered time / window for the given spans.
+func BusyFraction(spans []Span, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var busy time.Duration
+	for _, iv := range Union(spans) {
+		a, b := iv.Start, iv.End
+		if a < from {
+			a = from
+		}
+		if b > to {
+			b = to
+		}
+		if b > a {
+			busy += b - a
+		}
+	}
+	return float64(busy) / float64(to-from)
+}
+
+// GanttOpts controls rendering.
+type GanttOpts struct {
+	// Width is the number of time columns (default 100).
+	Width int
+	// GroupBy chooses rows: "track" (default) or "kind".
+	GroupBy string
+	// Glyphs maps kind → rune; unknown kinds use '#'.
+	Glyphs map[string]rune
+}
+
+// Gantt renders the log as an ASCII chart, one row per track (or
+// kind), '.' for idle. Rows are sorted by name for determinism.
+func (l *Log) Gantt(opts GanttOpts) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 100
+	}
+	makespan := l.Makespan()
+	if makespan == 0 || len(l.spans) == 0 {
+		return "(empty trace)\n"
+	}
+	rowKey := func(s Span) string {
+		if opts.GroupBy == "kind" {
+			return s.Kind
+		}
+		return s.Track
+	}
+	rows := map[string][]rune{}
+	var order []string
+	for _, s := range l.spans {
+		key := rowKey(s)
+		if _, ok := rows[key]; !ok {
+			row := make([]rune, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			rows[key] = row
+			order = append(order, key)
+		}
+		glyph := '#'
+		if g, ok := opts.Glyphs[s.Kind]; ok {
+			glyph = g
+		} else if s.Kind != "" {
+			glyph = rune(strings.ToUpper(s.Kind)[0])
+		}
+		lo := int(float64(s.Start) / float64(makespan) * float64(width))
+		hi := int(float64(s.End) / float64(makespan) * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			rows[key][i] = glyph
+		}
+	}
+	sort.Strings(order)
+	labelW := 0
+	for _, k := range order {
+		if len(k) > labelW {
+			labelW = len(k)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  |%s| 0 .. %s\n", labelW, "", strings.Repeat("-", width), makespan.Round(time.Millisecond))
+	for _, k := range order {
+		fmt.Fprintf(&b, "%*s  |%s|\n", labelW, k, string(rows[k]))
+	}
+	return b.String()
+}
+
+// WriteCSV emits the spans as CSV (track,label,kind,start_s,end_s).
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "track,label,kind,start_s,end_s"); err != nil {
+		return err
+	}
+	for _, s := range l.spans {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%.6f\n",
+			csvEscape(s.Track), csvEscape(s.Label), csvEscape(s.Kind),
+			s.Start.Seconds(), s.End.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// KindSummary is per-kind aggregate statistics.
+type KindSummary struct {
+	Kind      string
+	Count     int
+	TotalBusy time.Duration // union coverage
+	SumSpans  time.Duration // sum of span durations (can exceed busy)
+}
+
+// Summarize computes per-kind aggregates in first-seen kind order.
+func (l *Log) Summarize() []KindSummary {
+	var out []KindSummary
+	for _, kind := range l.Kinds() {
+		spans := l.OfKind(kind)
+		var sum time.Duration
+		for _, s := range spans {
+			sum += s.Duration()
+		}
+		var busy time.Duration
+		for _, iv := range Union(spans) {
+			busy += iv.Duration()
+		}
+		out = append(out, KindSummary{Kind: kind, Count: len(spans), TotalBusy: busy, SumSpans: sum})
+	}
+	return out
+}
+
+// Sparkline renders a step series (e.g. busy SMs over time) as one
+// Gantt-width row of block glyphs, scaled to max. It pairs with
+// Gantt output to show device utilization under the task rows.
+func Sparkline(s *metrics.StepSeries, to time.Duration, width int, max float64) string {
+	if width <= 0 {
+		width = 100
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	row := make([]rune, width)
+	for i := 0; i < width; i++ {
+		a := time.Duration(float64(to) * float64(i) / float64(width))
+		b := time.Duration(float64(to) * float64(i+1) / float64(width))
+		v := s.Mean(a, b)
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(glyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		row[i] = glyphs[idx]
+	}
+	return string(row)
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func sp(track, kind string, start, end time.Duration) Span {
+	return Span{Track: track, Label: kind, Kind: kind, Start: start, End: end}
+}
+
+func TestUnionMergesOverlaps(t *testing.T) {
+	ivs := Union([]Span{
+		sp("a", "x", 0, 2*time.Second),
+		sp("a", "x", 1*time.Second, 3*time.Second),
+		sp("a", "x", 5*time.Second, 6*time.Second),
+	})
+	if len(ivs) != 2 {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	if ivs[0] != (Interval{0, 3 * time.Second}) || ivs[1] != (Interval{5 * time.Second, 6 * time.Second}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+}
+
+func TestUnionIgnoresZeroSpans(t *testing.T) {
+	ivs := Union([]Span{sp("a", "x", time.Second, time.Second)})
+	if len(ivs) != 0 {
+		t.Fatalf("ivs = %v", ivs)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	spans := []Span{
+		sp("a", "x", 1*time.Second, 2*time.Second),
+		sp("a", "x", 4*time.Second, 5*time.Second),
+	}
+	gaps := Gaps(spans, 0, 6*time.Second)
+	want := []Interval{{0, time.Second}, {2 * time.Second, 4 * time.Second}, {5 * time.Second, 6 * time.Second}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v", gaps)
+		}
+	}
+}
+
+func TestGapsFullyCovered(t *testing.T) {
+	spans := []Span{sp("a", "x", 0, 10*time.Second)}
+	if gaps := Gaps(spans, 0, 10*time.Second); len(gaps) != 0 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	spans := []Span{
+		sp("a", "x", 0, 2*time.Second),
+		sp("b", "x", 1*time.Second, 3*time.Second), // overlap counts once
+	}
+	got := BusyFraction(spans, 0, 6*time.Second)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("busy = %v", got)
+	}
+	if BusyFraction(nil, 0, 0) != 0 {
+		t.Fatal("degenerate window")
+	}
+}
+
+func TestLogBasics(t *testing.T) {
+	var l Log
+	l.Add(sp("w0", "training", 0, 2*time.Second))
+	l.Add(sp("w1", "inference", time.Second, 4*time.Second))
+	l.Add(Span{Track: "w1", Kind: "inference", Start: 5 * time.Second, End: 4 * time.Second}) // clamped
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Makespan() != 5*time.Second {
+		t.Fatalf("makespan = %v", l.Makespan())
+	}
+	if got := l.OfKind("inference"); len(got) != 2 {
+		t.Fatalf("inference spans = %d", len(got))
+	}
+	kinds := l.Kinds()
+	if len(kinds) != 2 || kinds[0] != "training" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	var l Log
+	l.Add(sp("gpu0", "training", 0, 5*time.Second))
+	l.Add(sp("gpu0", "inference", 5*time.Second, 10*time.Second))
+	l.Add(sp("cpu0", "simulation", 0, 10*time.Second))
+	out := l.Gantt(GanttOpts{Width: 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 tracks
+		t.Fatalf("out:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "cpu0") || !strings.Contains(lines[1], "SSSSSSSSSS") {
+		t.Fatalf("cpu row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "TTTTTIIIII") {
+		t.Fatalf("gpu row: %q", lines[2])
+	}
+}
+
+func TestGanttGroupByKindAndGlyphs(t *testing.T) {
+	var l Log
+	l.Add(sp("w0", "training", 0, time.Second))
+	l.Add(sp("w1", "training", time.Second, 2*time.Second))
+	out := l.Gantt(GanttOpts{Width: 4, GroupBy: "kind", Glyphs: map[string]rune{"training": '*'}})
+	if !strings.Contains(out, "training") || !strings.Contains(out, "****") {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var l Log
+	if got := l.Gantt(GanttOpts{}); got != "(empty trace)\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGanttTinySpanVisible(t *testing.T) {
+	var l Log
+	l.Add(sp("a", "x", 0, 100*time.Second))
+	l.Add(sp("b", "y", 50*time.Second, 50*time.Second+time.Millisecond))
+	out := l.Gantt(GanttOpts{Width: 20})
+	if !strings.Contains(out, "Y") {
+		t.Fatalf("tiny span invisible:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var l Log
+	l.Add(Span{Track: "w,0", Label: `say "hi"`, Kind: "k", Start: 0, End: time.Second})
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "track,label,kind,start_s,end_s\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, `"w,0","say ""hi""",k,0.000000,1.000000`) {
+		t.Fatalf("row: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var l Log
+	l.Add(sp("a", "training", 0, 2*time.Second))
+	l.Add(sp("b", "training", 1*time.Second, 3*time.Second))
+	l.Add(sp("a", "inference", 4*time.Second, 5*time.Second))
+	sums := l.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("sums = %v", sums)
+	}
+	tr := sums[0]
+	if tr.Kind != "training" || tr.Count != 2 || tr.TotalBusy != 3*time.Second || tr.SumSpans != 4*time.Second {
+		t.Fatalf("training summary = %+v", tr)
+	}
+}
+
+// Property: Union produces sorted, disjoint intervals covering exactly
+// the busy time, and Gaps+coverage tile the window.
+func TestQuickUnionGapsTile(t *testing.T) {
+	f := func(raw []uint8) bool {
+		spans := make([]Span, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			a := time.Duration(raw[i]) * time.Second
+			b := a + time.Duration(raw[i+1]%10)*time.Second
+			spans = append(spans, sp("t", "k", a, b))
+		}
+		window := 300 * time.Second
+		cov := Union(spans)
+		for i := 1; i < len(cov); i++ {
+			if cov[i].Start <= cov[i-1].End {
+				return false // not disjoint or not sorted
+			}
+		}
+		var covered, gapped time.Duration
+		for _, iv := range cov {
+			covered += iv.Duration()
+		}
+		for _, g := range Gaps(spans, 0, window) {
+			gapped += g.Duration()
+		}
+		return covered+gapped == window
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var s metrics.StepSeries
+	s.Set(0, 0)
+	s.Set(5*time.Second, 100)
+	row := Sparkline(&s, 10*time.Second, 10, 100)
+	r := []rune(row)
+	if len(r) != 10 {
+		t.Fatalf("width = %d", len(r))
+	}
+	if r[0] != ' ' || r[9] != '█' {
+		t.Fatalf("row = %q", row)
+	}
+	// Degenerate inputs stay in bounds.
+	if got := Sparkline(&s, 10*time.Second, 0, 0); len([]rune(got)) != 100 {
+		t.Fatalf("default width broken")
+	}
+}

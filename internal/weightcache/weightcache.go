@@ -1,0 +1,136 @@
+// Package weightcache implements the paper's first future-work item
+// (§7): sharing model weights resident in GPU memory across function
+// instances, so that re-partitioning (which requires killing and
+// restarting the process under MPS) no longer re-pays the model load.
+//
+// A Cache owns pinned, reference-counted shared segments in device
+// (or MIG instance) memory pools. A new function instance attaches to
+// the cached weights and is ready after context initialization alone;
+// the paper measures the avoided reload at 10–20 s for LLaMa models.
+package weightcache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/devent"
+	"repro/internal/llm"
+	"repro/internal/simgpu"
+)
+
+// ErrMismatch is returned when shard counts disagree with a cached
+// entry.
+var ErrMismatch = errors.New("weightcache: shard count mismatch")
+
+// entry is one cached model: a pinned shared segment per shard pool.
+type entry struct {
+	segs  []*simgpu.Segment
+	pools []*simgpu.MemPool
+}
+
+// Cache is a GPU-resident model weight cache.
+type Cache struct {
+	entries map[string]*entry
+	hits    int
+	misses  int
+}
+
+// New creates an empty cache.
+func New() *Cache { return &Cache{entries: make(map[string]*entry)} }
+
+// Hits and Misses report attach statistics.
+func (c *Cache) Hits() int { return c.hits }
+
+// Misses reports how many attaches required a cold load.
+func (c *Cache) Misses() int { return c.misses }
+
+// Keys returns the cached model keys in sorted order.
+func (c *Cache) Keys() []string {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bytes returns total cached weight bytes.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for _, e := range c.entries {
+		for _, s := range e.segs {
+			n += s.Size()
+		}
+	}
+	return n
+}
+
+// Contains reports whether key is cached.
+func (c *Cache) Contains(key string) bool { return c.entries[key] != nil }
+
+// AttachOrLoad produces a ready llm.Engine on the given shard
+// contexts. On a cache hit the engine attaches to the resident
+// weights (no transfer, paying only workspace allocation); on a miss
+// the weights are loaded once into pinned shared segments — owned by
+// the cache, surviving any number of process restarts — and then
+// attached.
+func (c *Cache) AttachOrLoad(p *devent.Proc, key string, cfg llm.Config, shards []*simgpu.Context, hostLoadBW float64) (*llm.Engine, bool, error) {
+	if e, ok := c.entries[key]; ok {
+		if len(e.segs) != len(shards) {
+			return nil, false, fmt.Errorf("%w: cached %d shards, want %d", ErrMismatch, len(e.segs), len(shards))
+		}
+		eng := llm.New(cfg)
+		if err := eng.AttachCached(p, shards, e.segs); err != nil {
+			return nil, false, err
+		}
+		c.hits++
+		return eng, true, nil
+	}
+	// Miss: load weights into shared pinned segments.
+	n := int64(len(shards))
+	if n == 0 {
+		return nil, false, errors.New("weightcache: no shards")
+	}
+	per := cfg.WeightBytes() / n
+	e := &entry{}
+	for i, ctx := range shards {
+		pool := ctx.Pool()
+		seg, err := pool.AllocShared(fmt.Sprintf("wcache/%s/%d", key, i), per)
+		if err != nil {
+			c.release(e)
+			return nil, false, err
+		}
+		seg.Pin()
+		seg.Release() // cache holds via the pin, not a reference
+		e.segs = append(e.segs, seg)
+		e.pools = append(e.pools, pool)
+		ctx.Transfer(p, per, hostLoadBW)
+	}
+	eng := llm.New(cfg)
+	if err := eng.AttachCached(p, shards, e.segs); err != nil {
+		c.release(e)
+		return nil, false, err
+	}
+	c.entries[key] = e
+	c.misses++
+	return eng, false, nil
+}
+
+// Evict removes a cached model, freeing its memory once no instance
+// still references it.
+func (c *Cache) Evict(key string) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.release(e)
+	return true
+}
+
+func (c *Cache) release(e *entry) {
+	for _, s := range e.segs {
+		s.Unpin()
+	}
+}

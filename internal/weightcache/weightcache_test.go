@@ -1,0 +1,237 @@
+package weightcache
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/llm"
+	"repro/internal/simgpu"
+)
+
+func newDev(t *testing.T, env *devent.Env) *simgpu.Device {
+	t.Helper()
+	d, err := simgpu.NewDevice(env, "gpu0", simgpu.A100SXM480GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMissThenHit(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx1, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		t0 := p.Now()
+		eng1, hit, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx1}, dev.Spec().HostLoadBW)
+		if err != nil || hit {
+			t.Errorf("first attach: hit=%v err=%v", hit, err)
+			return
+		}
+		coldTime := p.Now() - t0
+		if coldTime < 2*time.Second { // ≈13.5 GB at 5 GB/s ≈ 2.7 s
+			t.Errorf("cold load too fast: %v", coldTime)
+		}
+		if _, err := eng1.Complete(p, 4, 4); err != nil {
+			t.Error(err)
+		}
+		// Simulate the MPS re-partition: kill the process (destroy
+		// context), then restart and attach.
+		ctx1.Destroy()
+		if !cache.Contains("7b") {
+			t.Error("cache lost entry after process death")
+			return
+		}
+		ctx2, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		t1 := p.Now()
+		eng2, hit, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx2}, dev.Spec().HostLoadBW)
+		if err != nil || !hit {
+			t.Errorf("second attach: hit=%v err=%v", hit, err)
+			return
+		}
+		if warm := p.Now() - t1; warm != 0 {
+			t.Errorf("warm attach took %v", warm)
+		}
+		if _, err := eng2.Complete(p, 4, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+}
+
+func TestCachedBytesAndKeys(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		if _, _, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW); err != nil {
+			t.Error(err)
+			return
+		}
+		if cache.Bytes() != cfg.WeightBytes() {
+			t.Errorf("bytes = %d", cache.Bytes())
+		}
+		if keys := cache.Keys(); len(keys) != 1 || keys[0] != "7b" {
+			t.Errorf("keys = %v", keys)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictFreesAfterLastUser(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		eng, _, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = eng
+		used := dev.Mem().Used()
+		if !cache.Evict("7b") {
+			t.Error("evict failed")
+		}
+		// The attached engine still references the weights, so memory
+		// is not freed yet.
+		if dev.Mem().Used() != used {
+			t.Error("weights freed under a live engine")
+		}
+		ctx.Destroy() // releases the attachment
+		if dev.Mem().Used() != 0 {
+			t.Errorf("leak after last user: %d", dev.Mem().Used())
+		}
+		if cache.Evict("7b") {
+			t.Error("double evict succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardMismatch(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	dev2 := func() *simgpu.Device {
+		d, _ := simgpu.NewDevice(env, "gpu1", simgpu.A100SXM480GB())
+		return d
+	}()
+	cache := New()
+	cfg := llm.LLaMa27B()
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		if _, _, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW); err != nil {
+			t.Error(err)
+			return
+		}
+		c1, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		c2, _ := dev2.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		_, _, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{c1, c2}, dev.Spec().HostLoadBW)
+		if !errors.Is(err, ErrMismatch) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOMRollsBack(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	cfg.WeightBytesOverride = 100 * simgpu.GB // cannot fit
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		_, _, err := cache.AttachOrLoad(p, "big", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW)
+		if !errors.Is(err, simgpu.ErrOOM) {
+			t.Errorf("err = %v", err)
+		}
+		if cache.Contains("big") || dev.Mem().Used() != 0 {
+			t.Errorf("OOM left state: contains=%v used=%d", cache.Contains("big"), dev.Mem().Used())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline ablation: re-partitioning with the cache skips the
+// model reload entirely.
+func TestRepartitionFasterWithCache(t *testing.T) {
+	measure := func(useCache bool) time.Duration {
+		env := devent.NewEnv()
+		dev := newDev(t, env)
+		if err := dev.SetPolicy(simgpu.PolicySpatial); err != nil {
+			t.Fatal(err)
+		}
+		cache := New()
+		cfg := llm.LLaMa27B()
+		cfg.BytesPerParam = 4 // fp32, the paper's 10–20 s regime
+		var repartition time.Duration
+		env.Spawn("svc", func(p *devent.Proc) {
+			// Initial instance at 50%.
+			ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true, SMPercent: 50})
+			var eng *llm.Engine
+			var err error
+			if useCache {
+				eng, _, err = cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW)
+			} else {
+				eng = llm.New(cfg)
+				err = eng.Load(p, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eng.Complete(p, 4, 4)
+			// Re-partition to 25%: process restart required.
+			start := p.Now()
+			eng.Unload()
+			ctx.Destroy()
+			ctx2, _ := dev.NewContext(p, simgpu.ContextOpts{SMPercent: 25}) // pays context init
+			if useCache {
+				eng, _, err = cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx2}, dev.Spec().HostLoadBW)
+			} else {
+				eng = llm.New(cfg)
+				err = eng.Load(p, []*simgpu.Context{ctx2}, dev.Spec().HostLoadBW)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			repartition = p.Now() - start
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return repartition
+	}
+	without := measure(false)
+	with := measure(true)
+	// fp32 7B reload ≈ 5.4 s; cached attach skips it.
+	if without < 5*time.Second {
+		t.Fatalf("uncached repartition = %v", without)
+	}
+	if with >= without/3 {
+		t.Fatalf("cache barely helped: with=%v without=%v", with, without)
+	}
+}
