@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the tier-1 gate (build, vet,
+# tests with the race detector — the parallel harness must stay
+# race-clean); `make bench` regenerates the kernel and paper benchmark
+# records as `go test -json` event streams (BENCH_devent.json,
+# BENCH_paper.json), which benchstat and x/perf tooling both consume.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-devent bench-paper clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench: bench-devent bench-paper
+
+bench-devent:
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent > BENCH_devent.json
+
+bench-paper:
+	$(GO) test -json -run '^$$' -bench=. -benchtime=1x . > BENCH_paper.json
+
+clean:
+	rm -f BENCH_devent.json BENCH_paper.json

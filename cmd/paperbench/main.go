@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/harness"
 	"repro/internal/moldesign"
 	"repro/internal/report"
 )
@@ -40,7 +42,10 @@ artifacts:
 
 flags:
   -completions N   completions for fig4/fig5/all (default 100)
-  -csv DIR         also write fig2/fig4/fig5 series as CSV into DIR`)
+  -csv DIR         also write fig2/fig4/fig5 series as CSV into DIR
+  -parallel N      run up to N independent scenarios concurrently
+                   (default: number of CPUs; output is byte-identical
+                   at any setting)`)
 	os.Exit(2)
 }
 
@@ -52,9 +57,11 @@ func main() {
 	fs := flag.NewFlagSet(artifact, flag.ExitOnError)
 	completions := fs.Int("completions", 100, "completions for the fig4/fig5 experiment")
 	csvDir := fs.String("csv", "", "also write figure CSV series into this directory")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "max independent scenarios run concurrently")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	harness.SetParallelism(*parallel)
 	w := os.Stdout
 	var err error
 	switch artifact {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/devent"
+	"repro/internal/harness"
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/simgpu"
@@ -34,26 +35,25 @@ func AblationHostGap(gaps []time.Duration, completions int) ([]GapAblationRow, e
 	if completions <= 0 {
 		completions = 24
 	}
-	var out []GapAblationRow
-	for _, gap := range gaps {
+	return harness.Map(len(gaps), func(i int) (GapAblationRow, error) {
+		gap := gaps[i]
 		model := llm.LLaMa27B()
 		model.HostGapPerToken = gap
 		single, err := RunMultiplex(MultiplexConfig{Mode: ModeTimeshare, Processes: 1, Completions: completions, Model: model})
 		if err != nil {
-			return nil, err
+			return GapAblationRow{}, err
 		}
 		shared, err := RunMultiplex(MultiplexConfig{Mode: ModeTimeshare, Processes: 4, Completions: completions, Model: model})
 		if err != nil {
-			return nil, err
+			return GapAblationRow{}, err
 		}
-		out = append(out, GapAblationRow{
+		return GapAblationRow{
 			HostGap:            gap,
 			SingleMakespan:     single.Makespan,
 			Timeshare4Makespan: shared.Makespan,
 			Improvement:        1 - shared.Makespan.Seconds()/single.Makespan.Seconds(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // MemFractionRow relates the decode's memory-traffic fraction to the
@@ -76,26 +76,25 @@ func AblationMemFraction(fracs []float64, completions int) ([]MemFractionRow, er
 	if completions <= 0 {
 		completions = 24
 	}
-	var out []MemFractionRow
-	for _, f := range fracs {
+	return harness.Map(len(fracs), func(i int) (MemFractionRow, error) {
+		f := fracs[i]
 		model := llm.LLaMa27B()
 		model.TokenMemFraction = f
 		mps, err := RunMultiplex(MultiplexConfig{Mode: ModeMPS, Processes: 3, Completions: completions, Model: model})
 		if err != nil {
-			return nil, err
+			return MemFractionRow{}, err
 		}
 		mig, err := RunMultiplex(MultiplexConfig{Mode: ModeMIG, Processes: 3, Completions: completions, Model: model})
 		if err != nil {
-			return nil, err
+			return MemFractionRow{}, err
 		}
-		out = append(out, MemFractionRow{
+		return MemFractionRow{
 			MemFraction: f,
 			MPS3:        mps.Makespan,
 			MIG3:        mig.Makespan,
 			MIGPenalty:  mig.Makespan.Seconds() / mps.Makespan.Seconds(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BatchVsMultiplexRow compares in-process batching against cross-
@@ -117,26 +116,23 @@ func AblationBatchVsMultiplex(completions int) ([]BatchVsMultiplexRow, error) {
 	if completions <= 0 {
 		completions = 40
 	}
-	var out []BatchVsMultiplexRow
-	for _, b := range []int{1, 2, 4} {
-		row, err := runBatched(b, completions)
-		if err != nil {
-			return nil, err
+	batches := []int{1, 2, 4}
+	multiplexes := []int{2, 4}
+	return harness.Map(len(batches)+len(multiplexes), func(i int) (BatchVsMultiplexRow, error) {
+		if i < len(batches) {
+			return runBatched(batches[i], completions)
 		}
-		out = append(out, row)
-	}
-	for _, n := range []int{2, 4} {
+		n := multiplexes[i-len(batches)]
 		r, err := RunMultiplex(MultiplexConfig{Mode: ModeMPS, Processes: n, Completions: completions})
 		if err != nil {
-			return nil, err
+			return BatchVsMultiplexRow{}, err
 		}
-		out = append(out, BatchVsMultiplexRow{
+		return BatchVsMultiplexRow{
 			Strategy:   fmt.Sprintf("multiplex MPS x%d", n),
 			Throughput: r.Throughput,
 			MeanLat:    r.MeanLatency(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // runBatched serves `completions` requests from a single engine with
@@ -201,15 +197,13 @@ func AblationVGPUQuantum(quanta []time.Duration, completions int) ([]QuantumRow,
 	if completions <= 0 {
 		completions = 16
 	}
-	var out []QuantumRow
-	for _, q := range quanta {
-		r, err := runVGPUWithQuantum(q, completions)
+	return harness.Map(len(quanta), func(i int) (QuantumRow, error) {
+		r, err := runVGPUWithQuantum(quanta[i], completions)
 		if err != nil {
-			return nil, err
+			return QuantumRow{}, err
 		}
-		out = append(out, QuantumRow{Quantum: q, MeanLat: r})
-	}
-	return out, nil
+		return QuantumRow{Quantum: quanta[i], MeanLat: r}, nil
+	})
 }
 
 func runVGPUWithQuantum(q time.Duration, completions int) (time.Duration, error) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/devent"
+	"repro/internal/harness"
 	"repro/internal/llm"
 	"repro/internal/simgpu"
 )
@@ -42,20 +43,29 @@ func Fig2Sweep(percents []int) (*Fig2Result, error) {
 	}
 	for _, sc := range scenarios {
 		res.CPUBaselines[sc.name] = sc.cfg.CPUCompletionTime(20)
-		for _, pct := range percents {
-			lat, err := measureAtPercent(sc.cfg, sc.shards, pct)
-			if err != nil {
-				return nil, fmt.Errorf("core: fig2 %s@%d%%: %w", sc.name, pct, err)
-			}
-			spec := simgpu.A100SXM440GB()
-			res.Points = append(res.Points, SweepPoint{
-				Model:   sc.name,
-				Percent: pct,
-				SMs:     smsFor(spec.SMs, pct),
-				Latency: lat,
-			})
-		}
 	}
+	// Every grid cell is an independent simulation: fan them out
+	// across cores, collecting points in scenario-major, percent-minor
+	// order — the same order the sequential loop produced.
+	points, err := harness.Map(len(scenarios)*len(percents), func(i int) (SweepPoint, error) {
+		sc := scenarios[i/len(percents)]
+		pct := percents[i%len(percents)]
+		lat, err := measureAtPercent(sc.cfg, sc.shards, pct)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("core: fig2 %s@%d%%: %w", sc.name, pct, err)
+		}
+		spec := simgpu.A100SXM440GB()
+		return SweepPoint{
+			Model:   sc.name,
+			Percent: pct,
+			SMs:     smsFor(spec.SMs, pct),
+			Latency: lat,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/devent"
+	"repro/internal/harness"
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/simgpu"
@@ -63,17 +64,20 @@ func RunTable1() ([]Table1Row, error) {
 	}
 	reconfigByMode[ModeVGPU] = vgpuReconfig
 
-	var rows []Table1Row
-	for _, mode := range Table1Modes {
+	// Each technique's burst + isolation probe is an independent pair
+	// of simulations; measure the techniques concurrently, rows in the
+	// paper's order.
+	return harness.Map(len(Table1Modes), func(i int) (Table1Row, error) {
+		mode := Table1Modes[i]
 		mr, err := RunMultiplex(MultiplexConfig{Mode: mode, Processes: 4, Completions: 32})
 		if err != nil {
-			return nil, fmt.Errorf("core: table1 %s burst: %w", mode, err)
+			return Table1Row{}, fmt.Errorf("core: table1 %s burst: %w", mode, err)
 		}
 		cov, isolated, err := isolationProbe(mode)
 		if err != nil {
-			return nil, fmt.Errorf("core: table1 %s isolation: %w", mode, err)
+			return Table1Row{}, fmt.Errorf("core: table1 %s isolation: %w", mode, err)
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Technique:        string(mode),
 			Utilization:      mr.Utilization,
 			Throughput:       mr.Throughput,
@@ -82,9 +86,8 @@ func RunTable1() ([]Table1Row, error) {
 			ReconfigDowntime: reconfigByMode[mode],
 			MemoryIsolated:   isolated,
 			Software:         table1Software[mode],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // measureVGPUReconfig models Table 1's "requires restarting a VM":

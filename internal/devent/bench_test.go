@@ -54,6 +54,26 @@ func BenchmarkChanPingPong(b *testing.B) {
 	}
 }
 
+// BenchmarkTimerCancelRetention measures the schedule+cancel churn of
+// a long-lived env (the open-loop pattern: per-kernel finish timers
+// rescheduled on every share change) and asserts the heap stays
+// bounded instead of retaining every cancelled item until its
+// far-future deadline.
+func BenchmarkTimerCancelRetention(b *testing.B) {
+	env := NewEnv()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := env.Schedule(time.Duration(i+1)*time.Hour, func() {})
+		tm.Cancel()
+		if len(env.queue) > 2*compactThreshold {
+			b.Fatalf("heap grew to %d cancelled items at i=%d", len(env.queue), i)
+		}
+	}
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEventFanout measures waking many waiters at once.
 func BenchmarkEventFanout(b *testing.B) {
 	const waiters = 64

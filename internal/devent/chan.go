@@ -11,6 +11,10 @@ type Chan[T any] struct {
 	sendq  []*chanWaiter[T]
 	recvq  []*chanWaiter[T]
 	closed bool
+	// free recycles waiters for cancel-free ops. A waiter from a
+	// cancellable op is never pooled: the cancel event's OnFire
+	// callback keeps a reference to it indefinitely.
+	free []*chanWaiter[T]
 }
 
 type chanWaiter[T any] struct {
@@ -57,10 +61,13 @@ func (c *Chan[T]) SendOr(p *Proc, v T, cancel *Event) bool {
 	if c.trySend(v) {
 		return true
 	}
-	w := &chanWaiter[T]{p: p, val: v}
+	w := c.getWaiter(p, cancel)
+	w.val = v
 	c.sendq = append(c.sendq, w)
 	c.parkCancellable(p, w, cancel, func() { c.removeSender(w) })
-	return w.ok
+	ok := w.ok
+	c.putWaiter(w, cancel)
+	return ok
 }
 
 // TrySend delivers v without blocking. It reports whether the value was
@@ -103,10 +110,12 @@ func (c *Chan[T]) RecvOr(p *Proc, cancel *Event) (v T, ok bool, cancelled bool) 
 		var zero T
 		return zero, false, false
 	}
-	w := &chanWaiter[T]{p: p}
+	w := c.getWaiter(p, cancel)
 	c.recvq = append(c.recvq, w)
 	c.parkCancellable(p, w, cancel, func() { c.removeReceiver(w) })
-	return w.val, w.ok, w.cancelled
+	v, ok, cancelled = w.val, w.ok, w.cancelled
+	c.putWaiter(w, cancel)
+	return v, ok, cancelled
 }
 
 // TryRecv receives without blocking; ok is false when nothing was
@@ -176,6 +185,29 @@ func (c *Chan[T]) parkCancellable(p *Proc, w *chanWaiter[T], cancel *Event, dere
 		})
 	}
 	p.park()
+}
+
+// getWaiter takes a pooled waiter for a cancel-free op, or allocates.
+// By the time a cancel-free op returns, its waiter has been removed
+// from the queues (popped, deregistered, or dropped by Close), so
+// recycling it is safe.
+func (c *Chan[T]) getWaiter(p *Proc, cancel *Event) *chanWaiter[T] {
+	if cancel == nil {
+		if n := len(c.free); n > 0 {
+			w := c.free[n-1]
+			c.free[n-1] = nil
+			c.free = c.free[:n-1]
+			*w = chanWaiter[T]{p: p}
+			return w
+		}
+	}
+	return &chanWaiter[T]{p: p}
+}
+
+func (c *Chan[T]) putWaiter(w *chanWaiter[T], cancel *Event) {
+	if cancel == nil {
+		c.free = append(c.free, w)
+	}
 }
 
 func (c *Chan[T]) popRecv() *chanWaiter[T] {

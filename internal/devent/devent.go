@@ -35,6 +35,11 @@ var ErrDeadlock = errors.New("devent: deadlock")
 // resources where panicking would be unhelpful.
 var ErrClosed = errors.New("devent: closed")
 
+// compactThreshold is the minimum queue length before cancelled-item
+// compaction is considered; below it the lazy pop-time cleanup is
+// cheaper than rebuilding the heap.
+const compactThreshold = 64
+
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; create one with NewEnv.
 type Env struct {
@@ -46,6 +51,11 @@ type Env struct {
 	nextPID int64
 	running bool
 	failure error
+	// free is a free list of recycled queueItems; cancelled counts
+	// dead items still sitting in the heap (compacted when they
+	// exceed half the queue).
+	free      *queueItem
+	cancelled int
 }
 
 // NewEnv returns a fresh simulation environment with the clock at zero.
@@ -68,26 +78,45 @@ func (e *Env) Fail(err error) {
 }
 
 // Timer is a handle to a scheduled callback. Cancelling an already
-// fired or cancelled timer is a no-op.
+// fired or cancelled timer is a no-op. Queue items are pooled, so the
+// handle carries the item's generation: a stale handle (whose item has
+// since fired and been recycled) is recognised and ignored.
 type Timer struct {
+	env  *Env
 	item *queueItem
+	gen  uint64
+	at   time.Duration
 }
 
 // Cancel prevents the timer's callback from running. It reports whether
 // the timer was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.item == nil || t.item.fn == nil {
+	if t == nil || t.item == nil || t.gen != t.item.gen || t.item.fn == nil {
 		return false
 	}
 	t.item.fn = nil
+	t.item = nil
+	e := t.env
+	e.cancelled++
+	if e.cancelled > len(e.queue)/2 && len(e.queue) >= compactThreshold {
+		e.compact()
+	}
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.item != nil && t.item.fn != nil }
+func (t *Timer) Active() bool {
+	return t != nil && t.item != nil && t.gen == t.item.gen && t.item.fn != nil
+}
 
 // When reports the virtual time at which the timer fires (or fired).
-func (t *Timer) When() time.Duration { return t.item.at }
+// A nil or zero Timer reports 0.
+func (t *Timer) When() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.at
+}
 
 // Schedule runs fn at Now()+delay. A negative delay is treated as zero.
 // It returns a cancellable handle.
@@ -104,10 +133,91 @@ func (e *Env) ScheduleAt(t time.Duration, fn func()) *Timer {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	it := &queueItem{at: t, seq: e.seq, fn: fn}
+	it := e.newItem(t, fn, nil)
 	heap.Push(&e.queue, it)
-	return &Timer{item: it}
+	return &Timer{env: e, item: it, gen: it.gen, at: t}
+}
+
+// scheduleFn is ScheduleAt without the Timer handle, for internal
+// callers that never cancel.
+func (e *Env) scheduleFn(delay time.Duration, fn func()) {
+	it := e.newItem(e.now+delay, fn, nil)
+	heap.Push(&e.queue, it)
+}
+
+// scheduleProc queues a handoff to p at Now()+delay without allocating
+// a closure or a Timer — the hot path behind Sleep and every wakeup.
+func (e *Env) scheduleProc(delay time.Duration, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	it := e.newItem(e.now+delay, nil, p)
+	heap.Push(&e.queue, it)
+}
+
+// newItem takes a queueItem from the free list (or allocates one) and
+// initialises it.
+func (e *Env) newItem(at time.Duration, fn func(), p *Proc) *queueItem {
+	it := e.free
+	if it != nil {
+		e.free = it.next
+		it.next = nil
+	} else {
+		it = &queueItem{}
+	}
+	e.seq++
+	it.at = at
+	it.seq = e.seq
+	it.fn = fn
+	it.proc = p
+	return it
+}
+
+// release returns an item to the free list, bumping its generation so
+// stale Timer handles no longer match.
+func (e *Env) release(it *queueItem) {
+	it.fn = nil
+	it.proc = nil
+	it.gen++
+	it.next = e.free
+	e.free = it
+}
+
+// compact rebuilds the heap without its cancelled items, releasing
+// them to the pool. Long-lived open-loop runs cancel far more timers
+// than they fire (e.g. per-kernel completion timers rescheduled on
+// every share change); without compaction those dead items accumulate
+// until their deadline is popped.
+func (e *Env) compact() {
+	live := e.queue[:0]
+	for _, it := range e.queue {
+		if it.fn == nil && it.proc == nil {
+			e.release(it)
+		} else {
+			live = append(live, it)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	heap.Init(&e.queue)
+	e.cancelled = 0
+}
+
+// peek returns the head live item, lazily dropping cancelled items so
+// horizon checks see the true next event.
+func (e *Env) peek() *queueItem {
+	for len(e.queue) > 0 {
+		it := e.queue[0]
+		if it.fn != nil || it.proc != nil {
+			return it
+		}
+		heap.Pop(&e.queue)
+		e.cancelled--
+		e.release(it)
+	}
+	return nil
 }
 
 // Run drains the event queue, advancing virtual time, until no events
@@ -129,7 +239,7 @@ func (e *Env) run(horizon time.Duration) error {
 	defer func() { e.running = false }()
 
 	for e.failure == nil {
-		it := e.queue.peek()
+		it := e.peek()
 		if it == nil {
 			break
 		}
@@ -138,15 +248,16 @@ func (e *Env) run(horizon time.Duration) error {
 			return nil
 		}
 		heap.Pop(&e.queue)
-		if it.fn == nil { // cancelled
-			continue
-		}
 		if it.at > e.now {
 			e.now = it.at
 		}
-		fn := it.fn
-		it.fn = nil
-		fn()
+		fn, p := it.fn, it.proc
+		e.release(it)
+		if fn != nil {
+			fn()
+		} else {
+			e.handoff(p)
+		}
 	}
 	if e.failure != nil {
 		return e.failure
@@ -164,18 +275,23 @@ func (e *Env) blockedProcs() []string {
 	var names []string
 	for _, p := range e.procs {
 		if p.parked && !p.daemon {
-			names = append(names, p.name)
+			names = append(names, p.Name())
 		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// queueItem is a pending scheduled callback.
+// queueItem is a pending scheduled callback (fn) or proc handoff
+// (proc). Items are pooled via Env.free; gen distinguishes a live item
+// from a recycled one holding the same address.
 type queueItem struct {
-	at  time.Duration
-	seq int64
-	fn  func()
+	at   time.Duration
+	seq  int64
+	gen  uint64
+	fn   func()
+	proc *Proc
+	next *queueItem
 }
 
 type eventHeap []*queueItem
@@ -197,25 +313,14 @@ func (h *eventHeap) Pop() any {
 	*h = old[:n-1]
 	return it
 }
-func (h *eventHeap) peek() *queueItem {
-	// Lazily drop cancelled items sitting at the head so that horizon
-	// checks see the true next event. (Non-head cancelled items are
-	// dropped when popped.)
-	for h.Len() > 0 && (*h)[0].fn == nil {
-		heap.Pop(h)
-	}
-	if h.Len() == 0 {
-		return nil
-	}
-	return (*h)[0]
-}
 
 // Proc is a simulated process: a goroutine that runs under scheduler
 // control and may block in virtual time.
 type Proc struct {
 	env    *Env
 	id     int64
-	name   string
+	base   string
+	name   string // formatted lazily from base+id
 	resume chan struct{}
 	parked bool
 	dead   bool
@@ -236,13 +341,13 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		env:    e,
 		id:     e.nextPID,
-		name:   fmt.Sprintf("%s#%d", name, e.nextPID),
+		base:   name,
 		resume: make(chan struct{}),
 		done:   e.NewEvent(),
 	}
 	e.procs[p.id] = p
 	go p.body(fn)
-	e.Schedule(0, func() { e.handoff(p) })
+	e.scheduleProc(0, p)
 	return p
 }
 
@@ -250,7 +355,7 @@ func (p *Proc) body(fn func(p *Proc)) {
 	<-p.resume
 	defer func() {
 		if r := recover(); r != nil {
-			p.env.Fail(fmt.Errorf("devent: proc %s panicked: %v\n%s", p.name, r, debug.Stack()))
+			p.env.Fail(fmt.Errorf("devent: proc %s panicked: %v\n%s", p.Name(), r, debug.Stack()))
 		}
 		p.dead = true
 		delete(p.env.procs, p.id)
@@ -281,14 +386,19 @@ func (p *Proc) park() {
 
 // wake schedules p to resume at the current virtual time.
 func (e *Env) wake(p *Proc) {
-	e.Schedule(0, func() { e.handoff(p) })
+	e.scheduleProc(0, p)
 }
 
 // Env returns the environment the proc runs in.
 func (p *Proc) Env() *Env { return p.env }
 
 // Name returns the proc's unique name ("base#id").
-func (p *Proc) Name() string { return p.name }
+func (p *Proc) Name() string {
+	if p.name == "" {
+		p.name = fmt.Sprintf("%s#%d", p.base, p.id)
+	}
+	return p.name
+}
 
 // Now reports the current virtual time.
 func (p *Proc) Now() time.Duration { return p.env.now }
@@ -299,10 +409,7 @@ func (p *Proc) Done() *Event { return p.done }
 // Sleep blocks the proc for d of virtual time. Non-positive durations
 // yield (the proc re-queues at the current time).
 func (p *Proc) Sleep(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	p.env.Schedule(d, func() { p.env.handoff(p) })
+	p.env.scheduleProc(d, p)
 	p.park()
 }
 

@@ -59,10 +59,38 @@ func (ev *Event) fire(v any, err error) {
 	ev.fired = true
 	ev.value = v
 	ev.err = err
-	for _, w := range ev.waiters {
-		if !w.woken {
+	// Batch the fanout: waking N waiters individually costs N queue
+	// items; instead collect the procs and hand off to each in order
+	// from a single scheduled callback. Each waiter was queued before
+	// any of them runs, so the relative order — waiters in
+	// registration order, ahead of anything they schedule — is the
+	// same as with per-waiter wakeups.
+	switch len(ev.waiters) {
+	case 0:
+	case 1:
+		if w := ev.waiters[0]; !w.woken {
 			w.woken = true
 			ev.env.wake(w.p)
+		}
+	default:
+		procs := make([]*Proc, 0, len(ev.waiters))
+		for _, w := range ev.waiters {
+			if !w.woken {
+				w.woken = true
+				procs = append(procs, w.p)
+			}
+		}
+		switch len(procs) {
+		case 0:
+		case 1:
+			ev.env.wake(procs[0])
+		default:
+			env := ev.env
+			env.scheduleFn(0, func() {
+				for _, p := range procs {
+					env.handoff(p)
+				}
+			})
 		}
 	}
 	ev.waiters = nil

@@ -125,6 +125,79 @@ func TestTimerWhen(t *testing.T) {
 	}
 }
 
+func TestTimerWhenNilSafety(t *testing.T) {
+	var nilT *Timer
+	if nilT.When() != 0 {
+		t.Fatalf("nil timer When = %v", nilT.When())
+	}
+	if nilT.Active() || nilT.Cancel() {
+		t.Fatal("nil timer reported active/cancellable")
+	}
+	var zero Timer
+	if zero.When() != 0 {
+		t.Fatalf("zero timer When = %v", zero.When())
+	}
+	env := NewEnv()
+	tm := env.Schedule(5*time.Second, func() {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A fired timer must still report its deadline, not crash.
+	if tm.When() != 5*time.Second {
+		t.Fatalf("fired timer When = %v", tm.When())
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+func TestStaleTimerHandleAfterReuse(t *testing.T) {
+	env := NewEnv()
+	t1 := env.Schedule(time.Second, func() {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// t1's queue item is now recycled; the next Schedule reuses it.
+	var fired bool
+	t2 := env.Schedule(time.Second, func() { fired = true })
+	if t1.Cancel() {
+		t.Fatal("stale handle cancelled a recycled item")
+	}
+	if !t2.Active() {
+		t.Fatal("t2 inactive after stale cancel")
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("t2 did not fire")
+	}
+}
+
+func TestCancelledTimerCompaction(t *testing.T) {
+	env := NewEnv()
+	const n = 4096
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = env.Schedule(time.Duration(i+1)*time.Hour, func() {})
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	// Compaction triggers once cancelled items exceed half the queue;
+	// after cancelling everything the heap must be (near) empty, not
+	// retaining n dead items until their far-future deadlines pop.
+	if got := len(env.queue); got > compactThreshold {
+		t.Fatalf("queue retains %d cancelled items (want <= %d)", got, compactThreshold)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 0 {
+		t.Fatalf("cancelled timers advanced the clock to %v", env.Now())
+	}
+}
+
 func TestEventFailNilError(t *testing.T) {
 	env := NewEnv()
 	ev := env.NewNamedEvent("x")

@@ -1,0 +1,126 @@
+// Package harness fans independent simulation scenarios out across
+// CPU cores while keeping results deterministic.
+//
+// Every devent.Env is logically single-threaded and fully
+// deterministic, but scenarios — one Env each — are independent, so a
+// figure grid or a right-sizing sweep can run its cells concurrently.
+// The harness preserves determinism by construction: parallelism is
+// strictly across Envs, never within one, and results are always
+// delivered in input order. A report produced at any parallelism level
+// is byte-identical to the sequential one.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the process-wide worker cap used when a call does not
+// specify its own. Guarded by an atomic so tests and the CLI flag can
+// set it while runs are in flight elsewhere.
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(int64(runtime.NumCPU())) }
+
+// SetParallelism caps the number of concurrently running scenarios per
+// Map/Render call. n < 1 resets to runtime.NumCPU(). It returns the
+// previous value.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism reports the current worker cap.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// Map runs fn(0..n-1) across at most Parallelism() workers and returns
+// the results in index order. All tasks run to completion even when
+// one fails, so the reported error is deterministic: the lowest-index
+// failure, exactly what a sequential loop would surface. A panicking
+// task is converted to an error rather than tearing down the process
+// from a worker goroutine.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = call(fn, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = call(fn, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Section is one independently renderable piece of a report.
+type Section struct {
+	// Name labels the section in error messages.
+	Name string
+	// Render writes the section. It must not touch w outside its own
+	// buffer — the harness hands it a private one.
+	Render func(w io.Writer) error
+}
+
+// Render renders the sections concurrently, each into its own buffer,
+// then writes the buffers to w in argument order. Output is therefore
+// byte-identical to calling each Render sequentially against w.
+func Render(w io.Writer, sections ...Section) error {
+	bufs, err := Map(len(sections), func(i int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := sections[i].Render(&b); err != nil {
+			return nil, fmt.Errorf("%s: %w", sections[i].Name, err)
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func withParallelism(t *testing.T, n int) {
+	t.Helper()
+	prev := SetParallelism(n)
+	t.Cleanup(func() { SetParallelism(prev) })
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	withParallelism(t, 8)
+	out, err := Map(100, func(i int) (int, error) {
+		// Finish out of order on purpose.
+		time.Sleep(time.Duration(100-i) * 10 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmptyAndSequential(t *testing.T) {
+	if out, err := Map(0, func(int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	withParallelism(t, 1)
+	out, err := Map(3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("sequential map: %v %v", out, err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	withParallelism(t, 4)
+	e2 := errors.New("task 2")
+	e7 := errors.New("task 7")
+	_, err := Map(10, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, e2
+		case 7:
+			return 0, e7
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e2) {
+		t.Fatalf("err = %v, want task 2's error", err)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	withParallelism(t, 4)
+	_, err := Map(4, func(i int) (int, error) {
+		if i == 1 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetParallelismFloorsAtNumCPU(t *testing.T) {
+	prev := SetParallelism(-3)
+	defer SetParallelism(prev)
+	if Parallelism() < 1 {
+		t.Fatalf("parallelism = %d", Parallelism())
+	}
+}
+
+func TestRenderIsOrderedAndByteIdentical(t *testing.T) {
+	sections := make([]Section, 16)
+	for i := range sections {
+		i := i
+		sections[i] = Section{
+			Name: fmt.Sprintf("s%d", i),
+			Render: func(w io.Writer) error {
+				time.Sleep(time.Duration(16-i) * 10 * time.Microsecond)
+				_, err := fmt.Fprintf(w, "section %d\n", i)
+				return err
+			},
+		}
+	}
+	render := func(n int) string {
+		withParallelism(t, n)
+		var b bytes.Buffer
+		if err := Render(&b, sections...); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	for _, n := range []int{2, 8} {
+		if par := render(n); par != seq {
+			t.Fatalf("parallel(%d) output differs:\n%q\nvs\n%q", n, par, seq)
+		}
+	}
+}
+
+func TestRenderWrapsErrorWithSectionName(t *testing.T) {
+	withParallelism(t, 2)
+	boom := errors.New("bad section")
+	err := Render(io.Discard,
+		Section{Name: "good", Render: func(w io.Writer) error { return nil }},
+		Section{Name: "fig99", Render: func(w io.Writer) error { return boom }},
+	)
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestNestedMapDoesNotDeadlock exercises the report.All shape: an
+// outer Render whose sections each run their own inner Map.
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	withParallelism(t, 2)
+	var b bytes.Buffer
+	sections := make([]Section, 4)
+	for i := range sections {
+		i := i
+		sections[i] = Section{Name: fmt.Sprintf("outer%d", i), Render: func(w io.Writer) error {
+			inner, err := Map(4, func(j int) (int, error) { return i*10 + j, nil })
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, inner)
+			return err
+		}}
+	}
+	done := make(chan error, 1)
+	go func() { done <- Render(&b, sections...) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}

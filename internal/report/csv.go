@@ -5,8 +5,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 )
 
 // WriteFigureCSVs regenerates the quantitative figure series and
@@ -45,8 +47,14 @@ func writeFig2CSV(path string) error {
 			return err
 		}
 	}
-	for model, cpu := range res.CPUBaselines {
-		if _, err := fmt.Fprintf(f, "%s-cpu,0,0,%.6f\n", model, cpu.Seconds()); err != nil {
+	// Sorted keys, not map order, so the file is byte-reproducible.
+	models := make([]string, 0, len(res.CPUBaselines))
+	for model := range res.CPUBaselines {
+		models = append(models, model)
+	}
+	sort.Strings(models)
+	for _, model := range models {
+		if _, err := fmt.Fprintf(f, "%s-cpu,0,0,%.6f\n", model, res.CPUBaselines[model].Seconds()); err != nil {
 			return err
 		}
 	}
@@ -73,20 +81,25 @@ func writeFig45CSV(fig4Path, fig5Path string, completions int) error {
 	if err := writeHeader(f5, "mode,processes,mean_latency_s,p95_latency_s"); err != nil {
 		return err
 	}
-	for _, mode := range []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG} {
-		for n := 1; n <= 4; n++ {
-			r, err := core.RunMultiplex(core.MultiplexConfig{Mode: mode, Processes: n, Completions: completions})
-			if err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(f4, "%s,%d,%.3f,%.5f,%.4f\n",
-				mode, n, r.Makespan.Seconds(), r.Throughput, r.Utilization); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(f5, "%s,%d,%.4f,%.4f\n",
-				mode, n, r.MeanLatency().Seconds(), r.Latencies.Percentile(95).Seconds()); err != nil {
-				return err
-			}
+	modes := []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG}
+	const procsPerMode = 4
+	cells, err := harness.Map(len(modes)*procsPerMode, func(i int) (*core.MultiplexResult, error) {
+		return core.RunMultiplex(core.MultiplexConfig{
+			Mode: modes[i/procsPerMode], Processes: i%procsPerMode + 1, Completions: completions,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range cells {
+		mode, n := modes[i/procsPerMode], i%procsPerMode+1
+		if _, err := fmt.Fprintf(f4, "%s,%d,%.3f,%.5f,%.4f\n",
+			mode, n, r.Makespan.Seconds(), r.Throughput, r.Utilization); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(f5, "%s,%d,%.4f,%.4f\n",
+			mode, n, r.MeanLatency().Seconds(), r.Latencies.Percentile(95).Seconds()); err != nil {
+			return err
 		}
 	}
 	return nil

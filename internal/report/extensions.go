@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 )
 
 // Ablations prints the design-choice studies DESIGN.md calls out:
@@ -87,13 +88,16 @@ func MixedTenancy(w io.Writer) error {
 	header(w, "Mixed tenancy — real-time ResNet-50 next to a LLaMa-2 service")
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "technique\tresnet solo\tresnet mean\tresnet p99\tmeets 100ms\tLLM mean (s)")
-	for _, mode := range []core.Mode{core.ModeTimeshare, core.ModeMPSDefault, core.ModeMPS, core.ModeMIG, core.ModeVGPU} {
-		r, err := core.RunMixedTenancy(mode)
-		if err != nil {
-			return err
-		}
+	modes := []core.Mode{core.ModeTimeshare, core.ModeMPSDefault, core.ModeMPS, core.ModeMIG, core.ModeVGPU}
+	rows, err := harness.Map(len(modes), func(i int) (*core.MixedTenancyResult, error) {
+		return core.RunMixedTenancy(modes[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
 		fmt.Fprintf(tw, "%s\t%.1fms\t%.1fms\t%.1fms\t%v\t%s\n",
-			mode,
+			modes[i],
 			r.ResNetSolo.Seconds()*1e3,
 			r.ResNetMean.Seconds()*1e3,
 			r.ResNetP99.Seconds()*1e3,
@@ -116,13 +120,16 @@ func OpenLoop(w io.Writer) error {
 	header(w, "Open-loop serving — Poisson chatbot arrivals at 0.4 req/s, 4 instances")
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "technique\tp50 (s)\tp99 (s)\tsustained (req/s)\tstable")
-	for _, mode := range []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG} {
-		r, err := core.RunOpenLoop(core.OpenLoopConfig{Mode: mode, Processes: 4, ArrivalRate: 0.4, Requests: 60})
-		if err != nil {
-			return err
-		}
+	modes := []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG}
+	rows, err := harness.Map(len(modes), func(i int) (*core.OpenLoopResult, error) {
+		return core.RunOpenLoop(core.OpenLoopConfig{Mode: modes[i], Processes: 4, ArrivalRate: 0.4, Requests: 60})
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.3f\t%v\n",
-			mode,
+			modes[i],
 			r.Latencies.Percentile(50).Seconds(),
 			r.Latencies.Percentile(99).Seconds(),
 			r.ServiceCapacity, r.Stable)

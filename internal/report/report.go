@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/llm"
 	"repro/internal/models"
 	"repro/internal/moldesign"
@@ -101,11 +102,9 @@ func Fig2(w io.Writer, percents []int) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	for model, cpu := range map[string]time.Duration{
-		"llama2-7b":  res.CPUBaselines["llama2-7b"],
-		"llama2-13b": res.CPUBaselines["llama2-13b"],
-	} {
-		fmt.Fprintf(w, "CPU baseline %s: %s s\n", model, sec(cpu))
+	// Fixed order (not map iteration) so output is byte-reproducible.
+	for _, model := range []string{"llama2-7b", "llama2-13b"} {
+		fmt.Fprintf(w, "CPU baseline %s: %s s\n", model, sec(res.CPUBaselines[model]))
 	}
 	fmt.Fprintln(w, "observation: latency stops improving beyond ~20 SMs — the model cannot use more.")
 	return nil
@@ -164,16 +163,27 @@ func Fig45(w io.Writer, completions int) error {
 	header(w, "Figures 4 & 5 — 100 LLaMa-2-7B completions under time-sharing, MPS, and MIG")
 	type cell = *core.MultiplexResult
 	modes := []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG}
-	results := map[core.Mode]map[int]cell{}
-	for _, m := range modes {
-		results[m] = map[int]cell{}
-		for n := 1; n <= 4; n++ {
-			r, err := core.RunMultiplex(core.MultiplexConfig{Mode: m, Processes: n, Completions: completions})
-			if err != nil {
-				return fmt.Errorf("report: %s n=%d: %w", m, n, err)
-			}
-			results[m][n] = r
+	// The 3 modes × 4 process counts are 12 independent simulations —
+	// run the grid cells in parallel and index results by position.
+	const procsPerMode = 4
+	cells, err := harness.Map(len(modes)*procsPerMode, func(i int) (cell, error) {
+		m, n := modes[i/procsPerMode], i%procsPerMode+1
+		r, err := core.RunMultiplex(core.MultiplexConfig{Mode: m, Processes: n, Completions: completions})
+		if err != nil {
+			return nil, fmt.Errorf("report: %s n=%d: %w", m, n, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	results := map[core.Mode]map[int]cell{}
+	for i, r := range cells {
+		m, n := modes[i/procsPerMode], i%procsPerMode+1
+		if results[m] == nil {
+			results[m] = map[int]cell{}
+		}
+		results[m][n] = r
 	}
 	fmt.Fprintf(w, "\nFig 4 — total task completion time (s) for %d completions:\n", completions)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
@@ -308,37 +318,22 @@ func measureForRightsize(cfg llm.Config, pct int) (time.Duration, error) {
 	return res, nil
 }
 
-// All regenerates every artifact in paper order.
+// All regenerates every artifact in paper order. Artifacts render
+// concurrently (each into its own buffer, one Env per scenario inside)
+// and are written in paper order, so the output is byte-identical to
+// running them sequentially.
 func All(w io.Writer, completions int) error {
-	if err := Fig1(w, []int{1, 8, 32}); err != nil {
-		return err
-	}
-	if err := Fig2(w, nil); err != nil {
-		return err
-	}
-	if err := Fig3(w, moldesign.DefaultConfig()); err != nil {
-		return err
-	}
-	if err := Fig45(w, completions); err != nil {
-		return err
-	}
-	if err := Table1(w); err != nil {
-		return err
-	}
-	if err := ColdStart(w); err != nil {
-		return err
-	}
-	if err := Reconfig(w); err != nil {
-		return err
-	}
-	if err := Rightsize(w); err != nil {
-		return err
-	}
-	if err := Ablations(w); err != nil {
-		return err
-	}
-	if err := MixedTenancy(w); err != nil {
-		return err
-	}
-	return OpenLoop(w)
+	return harness.Render(w,
+		harness.Section{Name: "fig1", Render: func(w io.Writer) error { return Fig1(w, []int{1, 8, 32}) }},
+		harness.Section{Name: "fig2", Render: func(w io.Writer) error { return Fig2(w, nil) }},
+		harness.Section{Name: "fig3", Render: func(w io.Writer) error { return Fig3(w, moldesign.DefaultConfig()) }},
+		harness.Section{Name: "fig45", Render: func(w io.Writer) error { return Fig45(w, completions) }},
+		harness.Section{Name: "table1", Render: Table1},
+		harness.Section{Name: "coldstart", Render: ColdStart},
+		harness.Section{Name: "reconfig", Render: Reconfig},
+		harness.Section{Name: "rightsize", Render: Rightsize},
+		harness.Section{Name: "ablations", Render: Ablations},
+		harness.Section{Name: "mixed", Render: MixedTenancy},
+		harness.Section{Name: "openloop", Render: OpenLoop},
+	)
 }

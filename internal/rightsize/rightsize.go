@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/simgpu"
 )
 
@@ -75,23 +76,31 @@ func Knee(c Curve, tolerance float64) (Point, error) {
 
 // Sweep measures latency at each percentage via the caller-provided
 // probe (typically: build a fresh simulation, run the workload under
-// that MPS cap, return its latency).
+// that MPS cap, return its latency). Each probe owns a fresh
+// simulation, so the points are measured concurrently; the measure
+// function must therefore not share mutable state across calls.
 func Sweep(deviceSMs int, percents []int, measure func(pct int) (time.Duration, error)) (Curve, error) {
-	var curve Curve
 	for _, pct := range percents {
 		if pct < 1 || pct > 100 {
 			return nil, fmt.Errorf("rightsize: percentage %d out of range", pct)
 		}
+	}
+	points, err := harness.Map(len(percents), func(i int) (Point, error) {
+		pct := percents[i]
 		lat, err := measure(pct)
 		if err != nil {
-			return nil, fmt.Errorf("rightsize: measuring %d%%: %w", pct, err)
+			return Point{}, fmt.Errorf("rightsize: measuring %d%%: %w", pct, err)
 		}
-		curve = append(curve, Point{
+		return Point{
 			SMs:     smsForPercent(deviceSMs, pct),
 			Percent: pct,
 			Latency: lat,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	curve := Curve(points)
 	curve.Sort()
 	return curve, nil
 }
