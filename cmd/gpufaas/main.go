@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/moldesign"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rightsize"
 	"repro/internal/simgpu"
@@ -52,12 +53,27 @@ func usage() {
 	os.Exit(2)
 }
 
+// writeArtifact creates path and hands the file to fn.
+func writeArtifact(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func runMultiplex(args []string) error {
 	fs := flag.NewFlagSet("multiplex", flag.ExitOnError)
 	mode := fs.String("mode", "mps", "timeshare | mps-default | mps | mig | vgpu")
 	procs := fs.Int("procs", 4, "concurrent model processes (1-4)")
 	completions := fs.Int("completions", 100, "total completions")
 	tokens := fs.Int("tokens", 20, "output tokens per completion")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
+	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,9 +82,24 @@ func runMultiplex(args []string) error {
 		Processes:    *procs,
 		Completions:  *completions,
 		OutputTokens: *tokens,
+		Observe:      *traceOut != "" || *metricsOut != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		if err := writeArtifact(*traceOut, func(w *os.File) error {
+			return obs.WriteChromeTrace(w, r.Obs)
+		}); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeArtifact(*metricsOut, func(w *os.File) error {
+			return obs.WritePrometheus(w, r.Obs)
+		}); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("mode=%s procs=%d completions=%d\n", r.Mode, r.Processes, r.Completions)
 	fmt.Printf("  preload (cold start, excluded): %.2fs\n", r.PreloadTime.Seconds())

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -45,7 +46,12 @@ flags:
   -csv DIR         also write fig2/fig4/fig5 series as CSV into DIR
   -parallel N      run up to N independent scenarios concurrently
                    (default: number of CPUs; output is byte-identical
-                   at any setting)`)
+                   at any setting)
+  -trace FILE      rerun the fig4/fig5 grid and Table 1 bursts with
+                   deep instrumentation and write a Perfetto-loadable
+                   Chrome trace-event JSON file
+  -metrics FILE    same instrumented rerun, exported as Prometheus
+                   text exposition`)
 	os.Exit(2)
 }
 
@@ -58,6 +64,8 @@ func main() {
 	completions := fs.Int("completions", 100, "completions for the fig4/fig5 experiment")
 	csvDir := fs.String("csv", "", "also write figure CSV series into this directory")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max independent scenarios run concurrently")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file from an instrumented rerun")
+	metricsOut := fs.String("metrics", "", "write Prometheus text metrics from an instrumented rerun")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -95,8 +103,34 @@ func main() {
 	if err == nil && *csvDir != "" {
 		err = report.WriteFigureCSVs(*csvDir, *completions)
 	}
+	if err == nil && (*traceOut != "" || *metricsOut != "") {
+		err = writeObservability(*traceOut, *metricsOut, *completions)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeObservability reruns the instrumented grid once and writes the
+// requested artifacts. Either path may be empty.
+func writeObservability(tracePath, metricsPath string, completions int) error {
+	var traceW, promW io.Writer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceW = f
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		promW = f
+	}
+	return report.Observability(traceW, promW, completions)
 }

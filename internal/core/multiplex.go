@@ -8,6 +8,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simgpu"
 )
 
@@ -61,6 +62,9 @@ type MultiplexConfig struct {
 	// Model overrides the service config (zero value: LLaMa-2-7B
 	// fp16, the footprint at which exactly four instances fit 80 GB).
 	Model llm.Config
+	// Observe enables deep instrumentation (kernel spans, scheduler
+	// counters); the result then carries the collector for export.
+	Observe bool
 }
 
 func (c MultiplexConfig) withDefaults() MultiplexConfig {
@@ -107,6 +111,11 @@ type MultiplexResult struct {
 	// Utilization is the device's mean busy-SM fraction during the
 	// measured window.
 	Utilization float64
+	// ContextSwitches counts scheduling switches on the device
+	// (time-share penalties plus vGPU rotations) over the whole run.
+	ContextSwitches int
+	// Obs is the run's collector (spans and metrics for export).
+	Obs *obs.Collector
 }
 
 // MeanLatency returns the average per-inference latency (Fig. 5).
@@ -117,10 +126,14 @@ func (r *MultiplexResult) MeanLatency() time.Duration { return r.Latencies.Mean(
 // A100-80GB share 100 text completions under the chosen technique.
 func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	c := cfg.withDefaults()
-	pl, err := NewPlatform(Options{DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()}})
+	pl, err := NewPlatform(Options{
+		DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()},
+		Observe:     c.Observe,
+	})
 	if err != nil {
 		return nil, err
 	}
+	pl.Obs.SetScope(fmt.Sprintf("multiplex/%s/p%d", c.Mode, c.Processes))
 	dev := pl.Devices[0]
 	hostBW := dev.Spec().HostLoadBW
 	model := c.Model
@@ -241,5 +254,7 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	res.ContextSwitches = dev.ContextSwitches()
+	res.Obs = pl.Obs
 	return res, nil
 }

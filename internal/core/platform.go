@@ -19,6 +19,7 @@ import (
 	"repro/internal/faas/provider"
 	"repro/internal/gpuctl"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/simgpu"
 	"repro/internal/trace"
 )
@@ -36,6 +37,10 @@ type Options struct {
 	// WorkerInit is the function-initialization cold-start component
 	// (default 2 s).
 	WorkerInit time.Duration
+	// Observe turns on deep instrumentation: devent scheduler counters
+	// and per-kernel spans from the devices. Task and worker spans are
+	// always collected (the monitor is built on them).
+	Observe bool
 }
 
 func (o Options) withDefaults() Options {
@@ -65,8 +70,11 @@ type Platform struct {
 	// Monitor is the attached Parsl-style monitoring DB (Listing 1's
 	// log_dir): per-app statistics, worker busy time, task history.
 	Monitor *monitor.DB
-	opts    Options
-	gpu     *htex.HTEX
+	// Obs is the platform's collector: every span and metric from the
+	// DFK, executors, and (with Options.Observe) devices and scheduler.
+	Obs  *obs.Collector
+	opts Options
+	gpu  *htex.HTEX
 }
 
 // NewPlatform builds the testbed with a started CPU executor; the GPU
@@ -84,6 +92,13 @@ func NewPlatform(opts Options) (*Platform, error) {
 		devices[i] = d
 	}
 	node := gpuctl.NewNode(env, devices...)
+	collector := obs.New(env)
+	if o.Observe {
+		env.SetObserver(collector)
+		for _, d := range devices {
+			d.SetCollector(collector)
+		}
+	}
 	cpu, err := htex.New(env, htex.Config{
 		Label:      "cpu",
 		MaxWorkers: o.CPUWorkers,
@@ -92,7 +107,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	dfk := faas.NewDFK(env, faas.Config{RunDir: "sim", Retries: o.Retries}, cpu)
+	dfk := faas.NewDFK(env, faas.Config{RunDir: "sim", Retries: o.Retries, Collector: collector}, cpu)
 	pl := &Platform{
 		Env:     env,
 		Devices: devices,
@@ -101,26 +116,18 @@ func NewPlatform(opts Options) (*Platform, error) {
 		CPU:     cpu,
 		Trace:   &trace.Log{},
 		Monitor: monitor.New(),
+		Obs:     collector,
 		opts:    o,
 	}
-	dfk.OnTaskEvent(pl.record)
+	// Worker-side run spans become the platform's Gantt trace (Fig. 3
+	// view): one span per execution attempt on the worker's track.
+	collector.OnSpanEnd(func(s obs.Span) {
+		if s.Cat == "htex" && s.Name == "run" {
+			pl.Trace.Add(trace.SpanFromObs(s))
+		}
+	})
 	pl.Monitor.Attach(dfk)
 	return pl, nil
-}
-
-// record turns task completions into trace spans.
-func (pl *Platform) record(ev faas.TaskEvent) {
-	if ev.Status != faas.TaskDone && ev.Status != faas.TaskFailed {
-		return
-	}
-	t := ev.Task
-	pl.Trace.Add(trace.Span{
-		Track: t.Worker,
-		Label: t.App,
-		Kind:  t.App,
-		Start: t.StartTime,
-		End:   t.EndTime,
-	})
 }
 
 // GPU returns the current GPU executor (nil before configuration).

@@ -8,6 +8,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simgpu"
 )
 
@@ -32,6 +33,9 @@ type Table1Row struct {
 	MemoryIsolated bool
 	// Software names the required control software (Table 1 column).
 	Software string
+	// ContextSwitches is the measured scheduling-switch count on the
+	// device during the burst (time-share penalties + vGPU rotations).
+	ContextSwitches int
 }
 
 // Table1Modes lists the techniques in the paper's row order.
@@ -48,9 +52,17 @@ var table1Software = map[Mode]string{
 // RunTable1 measures every technique under a common 4-tenant LLaMa
 // burst plus isolation and reconfiguration micro-benchmarks.
 func RunTable1() ([]Table1Row, error) {
+	rows, _, err := RunTable1Observed(false)
+	return rows, err
+}
+
+// RunTable1Observed is RunTable1 with optional deep instrumentation;
+// it additionally returns each burst's collector, one per row in the
+// paper's row order.
+func RunTable1Observed(observe bool) ([]Table1Row, []*obs.Collector, error) {
 	reconfigs, err := RunReconfig(2 * time.Second)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reconfigByMode := map[Mode]time.Duration{
 		ModeTimeshare:  0,
@@ -60,34 +72,53 @@ func RunTable1() ([]Table1Row, error) {
 	}
 	vgpuReconfig, err := measureVGPUReconfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reconfigByMode[ModeVGPU] = vgpuReconfig
 
 	// Each technique's burst + isolation probe is an independent pair
 	// of simulations; measure the techniques concurrently, rows in the
 	// paper's order.
-	return harness.Map(len(Table1Modes), func(i int) (Table1Row, error) {
+	type cell struct {
+		row Table1Row
+		obs *obs.Collector
+	}
+	cells, err := harness.Map(len(Table1Modes), func(i int) (cell, error) {
 		mode := Table1Modes[i]
-		mr, err := RunMultiplex(MultiplexConfig{Mode: mode, Processes: 4, Completions: 32})
+		mr, err := RunMultiplex(MultiplexConfig{Mode: mode, Processes: 4, Completions: 32, Observe: observe})
 		if err != nil {
-			return Table1Row{}, fmt.Errorf("core: table1 %s burst: %w", mode, err)
+			return cell{}, fmt.Errorf("core: table1 %s burst: %w", mode, err)
 		}
+		mr.Obs.SetScope(fmt.Sprintf("table1/%s", mode))
 		cov, isolated, err := isolationProbe(mode)
 		if err != nil {
-			return Table1Row{}, fmt.Errorf("core: table1 %s isolation: %w", mode, err)
+			return cell{}, fmt.Errorf("core: table1 %s isolation: %w", mode, err)
 		}
-		return Table1Row{
-			Technique:        string(mode),
-			Utilization:      mr.Utilization,
-			Throughput:       mr.Throughput,
-			MeanLatency:      mr.MeanLatency(),
-			VictimCoV:        cov,
-			ReconfigDowntime: reconfigByMode[mode],
-			MemoryIsolated:   isolated,
-			Software:         table1Software[mode],
+		return cell{
+			row: Table1Row{
+				Technique:        string(mode),
+				Utilization:      mr.Utilization,
+				Throughput:       mr.Throughput,
+				MeanLatency:      mr.MeanLatency(),
+				VictimCoV:        cov,
+				ReconfigDowntime: reconfigByMode[mode],
+				MemoryIsolated:   isolated,
+				Software:         table1Software[mode],
+				ContextSwitches:  mr.ContextSwitches,
+			},
+			obs: mr.Obs,
 		}, nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]Table1Row, len(cells))
+	collectors := make([]*obs.Collector, len(cells))
+	for i, c := range cells {
+		rows[i] = c.row
+		collectors[i] = c.obs
+	}
+	return rows, collectors, nil
 }
 
 // measureVGPUReconfig models Table 1's "requires restarting a VM":

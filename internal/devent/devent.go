@@ -56,7 +56,25 @@ type Env struct {
 	// exceed half the queue).
 	free      *queueItem
 	cancelled int
+	obs       Observer
 }
+
+// Observer receives scheduler lifecycle callbacks (the obs package's
+// Collector implements it). All methods run in sim context. Dispatched
+// fires once per executed event, so implementations must keep it
+// allocation-free; with no observer installed the hooks cost a single
+// nil check.
+type Observer interface {
+	// ProcSpawned fires when Spawn registers a new proc.
+	ProcSpawned(name string, at time.Duration)
+	// ProcExited fires when a proc's body returns.
+	ProcExited(name string, at time.Duration)
+	// Dispatched fires for every event popped from the queue.
+	Dispatched(at time.Duration)
+}
+
+// SetObserver installs (or, with nil, removes) the scheduler observer.
+func (e *Env) SetObserver(o Observer) { e.obs = o }
 
 // NewEnv returns a fresh simulation environment with the clock at zero.
 func NewEnv() *Env {
@@ -253,6 +271,9 @@ func (e *Env) run(horizon time.Duration) error {
 		}
 		fn, p := it.fn, it.proc
 		e.release(it)
+		if e.obs != nil {
+			e.obs.Dispatched(e.now)
+		}
 		if fn != nil {
 			fn()
 		} else {
@@ -346,6 +367,9 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		done:   e.NewEvent(),
 	}
 	e.procs[p.id] = p
+	if e.obs != nil {
+		e.obs.ProcSpawned(p.Name(), e.now)
+	}
 	go p.body(fn)
 	e.scheduleProc(0, p)
 	return p
@@ -359,6 +383,9 @@ func (p *Proc) body(fn func(p *Proc)) {
 		}
 		p.dead = true
 		delete(p.env.procs, p.id)
+		if p.env.obs != nil {
+			p.env.obs.ProcExited(p.Name(), p.env.now)
+		}
 		if !p.done.Fired() {
 			p.done.Fire(nil)
 		}

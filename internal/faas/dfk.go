@@ -4,14 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/devent"
+	"repro/internal/obs"
 )
 
 // DFK is the DataFlowKernel: it owns the app registry and executors,
 // resolves future-valued arguments, dispatches tasks, retries
-// failures, and feeds monitoring hooks.
+// failures, and emits task spans and metrics to its collector.
 type DFK struct {
 	env       *devent.Env
 	cfg       Config
+	obs       *obs.Collector
 	executors map[string]Executor
 	apps      map[string]App
 	tasks     []*Task
@@ -20,29 +22,37 @@ type DFK struct {
 	started   bool
 }
 
-// NewDFK creates a DataFlowKernel over the given executors.
+// NewDFK creates a DataFlowKernel over the given executors. If the
+// config carries no collector, a fresh one is created over env.
 func NewDFK(env *devent.Env, cfg Config, executors ...Executor) *DFK {
+	if cfg.Collector == nil {
+		cfg.Collector = obs.New(env)
+	}
 	d := &DFK{
 		env:       env,
 		cfg:       cfg,
+		obs:       cfg.Collector,
 		executors: make(map[string]Executor),
 		apps:      make(map[string]App),
 	}
 	for _, ex := range executors {
 		d.executors[ex.Label()] = ex
-		if m, ok := ex.(monitored); ok {
-			m.SetMonitor(d.emit)
+		if o, ok := ex.(observed); ok {
+			o.SetCollector(d.obs)
 		}
 	}
 	return d
 }
 
-// monitored is implemented by executors that report task status
-// transitions (running) back to the DFK's monitoring hooks.
-type monitored interface{ SetMonitor(func(*Task)) }
+// observed is implemented by executors that emit queue/run/worker
+// spans and metrics into the DFK's collector.
+type observed interface{ SetCollector(*obs.Collector) }
 
 // Env returns the simulation environment.
 func (d *DFK) Env() *devent.Env { return d.env }
+
+// Collector returns the DFK's collector (never nil).
+func (d *DFK) Collector() *obs.Collector { return d.obs }
 
 // AddExecutor registers (or replaces) an executor after construction;
 // if the DFK is already started, the executor is started too. Used by
@@ -50,8 +60,8 @@ func (d *DFK) Env() *devent.Env { return d.env }
 // partitioning.
 func (d *DFK) AddExecutor(ex Executor) error {
 	d.executors[ex.Label()] = ex
-	if m, ok := ex.(monitored); ok {
-		m.SetMonitor(d.emit)
+	if o, ok := ex.(observed); ok {
+		o.SetCollector(d.obs)
 	}
 	if d.started {
 		return ex.Start()
@@ -68,8 +78,9 @@ func (d *DFK) Register(app App) {
 	d.apps[app.Name] = app
 }
 
-// OnTaskEvent installs a monitoring hook invoked at each task status
-// change (the analogue of Parsl's monitoring DB).
+// OnTaskEvent installs a monitoring hook invoked at each DFK-side task
+// status change (submit, launch, terminal). Worker-side pickup is
+// observable through the collector's span stream instead.
 func (d *DFK) OnTaskEvent(fn func(TaskEvent)) {
 	d.hooks = append(d.hooks, fn)
 }
@@ -78,6 +89,30 @@ func (d *DFK) emit(t *Task) {
 	ev := TaskEvent{Task: t, Status: t.Status, At: d.env.Now()}
 	for _, h := range d.hooks {
 		h(ev)
+	}
+}
+
+// finish records a terminal status: hooks, span end (carrying the
+// fields monitoring needs to rebuild the record), and counters.
+func (d *DFK) finish(t *Task) {
+	d.emit(t)
+	errStr := ""
+	if t.Err != nil {
+		errStr = t.Err.Error()
+	}
+	d.obs.EndSpan(t.Span,
+		obs.String("executor", t.Executor),
+		obs.String("worker", t.Worker),
+		obs.String("status", t.Status.String()),
+		obs.Int("tries", t.Tries),
+		obs.Dur("start_ns", t.StartTime),
+		obs.String("error", errStr),
+	)
+	m := d.obs.Metrics()
+	m.Counter("faas_tasks_completed_total", obs.L("app", t.App), obs.L("status", t.Status.String())).Inc()
+	if t.Status == TaskDone {
+		m.Histogram("faas_task_queue_delay_seconds", nil, obs.L("app", t.App)).ObserveDuration(t.QueueDelay())
+		m.Histogram("faas_task_run_seconds", nil, obs.L("app", t.App)).ObserveDuration(t.RunTime())
 	}
 }
 
@@ -118,6 +153,11 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		Status:     TaskPending,
 		SubmitTime: d.env.Now(),
 	}
+	task.Span = d.obs.StartSpan("dfk", "task", TaskTrack(task.ID), 0,
+		obs.Int("task", task.ID),
+		obs.String("app", appName),
+	)
+	d.obs.Metrics().Counter("faas_tasks_submitted_total", obs.L("app", appName)).Inc()
 	d.tasks = append(d.tasks, task)
 	done := d.env.NewNamedEvent(fmt.Sprintf("task-%d", task.ID))
 	fut := NewFuture(task, done)
@@ -127,7 +167,7 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		task.Status = TaskFailed
 		task.Err = fmt.Errorf("faas: unknown app %q", appName)
 		task.EndTime = d.env.Now()
-		d.emit(task)
+		d.finish(task)
 		done.Fail(task.Err)
 		return fut
 	}
@@ -137,7 +177,7 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		task.Status = TaskFailed
 		task.Err = fmt.Errorf("%w: %q (app %q)", ErrNoExecutor, app.Executor, appName)
 		task.EndTime = d.env.Now()
-		d.emit(task)
+		d.finish(task)
 		done.Fail(task.Err)
 		return fut
 	}
@@ -149,7 +189,7 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 			task.Status = TaskFailed
 			task.Err = fmt.Errorf("%w: %v", ErrDependency, err)
 			task.EndTime = d.env.Now()
-			d.emit(task)
+			d.finish(task)
 			done.Fail(task.Err)
 			return
 		}
@@ -159,6 +199,9 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 			task.Status = TaskLaunched
 			task.DispatchTime = d.env.Now()
 			d.emit(task)
+			if try > 0 {
+				d.obs.Metrics().Counter("faas_task_retries_total", obs.L("app", task.App)).Inc()
+			}
 			result, err = func() (any, error) {
 				ev := ex.Submit(task, app, resolved)
 				return p.Wait(ev)
@@ -170,12 +213,15 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		if err != nil {
 			task.Status = TaskFailed
 			task.Err = err
-			d.emit(task)
+			if task.EndTime < task.SubmitTime {
+				task.EndTime = d.env.Now()
+			}
+			d.finish(task)
 			done.Fail(err)
 			return
 		}
 		task.Status = TaskDone
-		d.emit(task)
+		d.finish(task)
 		done.Fire(result)
 	})
 	return fut

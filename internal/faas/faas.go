@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/devent"
+	"repro/internal/obs"
 	"repro/internal/simgpu"
 )
 
@@ -89,7 +90,16 @@ type Task struct {
 	StartTime    time.Duration
 	EndTime      time.Duration
 	Worker       string
+
+	// Span is the task's root span in the DFK's collector: executors
+	// parent their queue/run spans under it, so the whole causal chain
+	// submit -> queue -> pickup -> kernels hangs off one ID.
+	Span obs.SpanID
 }
+
+// TaskTrack names the trace lane a task's spans render on; the DFK
+// and executors must agree on it so queue spans nest under the task.
+func TaskTrack(id int) string { return fmt.Sprintf("task-%d", id) }
 
 // QueueDelay is the time from submission to execution start.
 func (t *Task) QueueDelay() time.Duration { return t.StartTime - t.SubmitTime }
@@ -230,6 +240,11 @@ type Config struct {
 	// Retries is how many times a failed task is retried before its
 	// future fails (Parsl's retries=1 in Listing 1).
 	Retries int
+	// Collector receives task spans and metrics. Leave nil to have
+	// NewDFK create one — the DFK always has a collector, so
+	// monitoring (which derives its records from span events) works
+	// without further configuration.
+	Collector *obs.Collector
 }
 
 // String renders the config compactly.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/faas/provider"
 	"repro/internal/gpuctl"
+	"repro/internal/obs"
 	"repro/internal/simgpu"
 )
 
@@ -89,10 +90,11 @@ var ErrWorkerLost = errors.New("htex: worker lost")
 
 // submission is one queued task.
 type submission struct {
-	task *faas.Task
-	app  faas.App
-	args []any
-	done *devent.Event
+	task  *faas.Task
+	app   faas.App
+	args  []any
+	done  *devent.Event
+	qspan obs.SpanID
 }
 
 // HTEX is the executor. Create with New, register with a DFK, Start
@@ -104,9 +106,15 @@ type HTEX struct {
 	shutdown *devent.Event
 	workers  []*worker
 	procs    []*devent.Proc
-	monitor  func(*faas.Task)
 	started  bool
 	gen      int
+
+	obs       *obs.Collector
+	gWorkers  *obs.Gauge
+	cCold     *obs.Counter
+	cKilled   *obs.Counter
+	cRestarts *obs.Counter
+	cPicked   *obs.Counter
 }
 
 // New creates the executor; Validate errors surface here.
@@ -130,8 +138,19 @@ func (h *HTEX) Label() string { return h.cfg.Label }
 // Config returns the executor configuration.
 func (h *HTEX) Config() Config { return h.cfg }
 
-// SetMonitor installs the DFK's task-status hook.
-func (h *HTEX) SetMonitor(fn func(*faas.Task)) { h.monitor = fn }
+// SetCollector wires the DFK's collector: worker-lifecycle and task
+// spans plus executor metrics flow into it. Instruments are resolved
+// once here so the hot paths pay only nil-safe method calls.
+func (h *HTEX) SetCollector(c *obs.Collector) {
+	h.obs = c
+	m := c.Metrics()
+	l := obs.L("executor", h.cfg.Label)
+	h.gWorkers = m.Gauge("htex_workers_live", l)
+	h.cCold = m.Counter("htex_cold_starts_total", l)
+	h.cKilled = m.Counter("htex_workers_killed_total", l)
+	h.cRestarts = m.Counter("htex_restarts_total", l)
+	h.cPicked = m.Counter("htex_tasks_picked_total", l)
+}
 
 // Workers implements faas.Executor.
 func (h *HTEX) Workers() int { return len(h.workers) }
@@ -195,8 +214,22 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		}
 	}
 	defer cleanup()
+	// The worker's lifecycle is one span on its own track; init and
+	// run spans nest under it. Each loop entry is a cold start.
+	wspan := h.obs.StartSpan("htex", "worker", w.name, 0,
+		obs.String("executor", h.cfg.Label),
+		obs.String("accelerator", w.binding.Accelerator),
+		obs.Int("gpu_pct", w.binding.GPUPercent))
+	h.gWorkers.Add(1)
+	h.cCold.Inc()
+	defer func() {
+		h.gWorkers.Add(-1)
+		h.obs.EndSpan(wspan)
+	}()
 	if h.cfg.WorkerInit > 0 {
+		t0 := p.Now()
 		p.Sleep(h.cfg.WorkerInit) // function initialization (§6)
+		h.obs.AddSpan("htex", "init", w.name, wspan, t0, p.Now())
 	}
 	w.ready = true
 	for {
@@ -211,9 +244,14 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		t.Status = faas.TaskRunning
 		t.StartTime = p.Now()
 		t.Worker = w.name
-		if h.monitor != nil {
-			h.monitor(t)
+		h.obs.EndSpan(sub.qspan, obs.String("worker", w.name))
+		rspan := h.obs.StartSpan("htex", "run", w.name, t.Span,
+			obs.Int("task", t.ID), obs.String("app", t.App))
+		w.runSpan = rspan
+		if w.gpu != nil && !w.gpu.Destroyed() {
+			w.gpu.SetTraceParent(rspan)
 		}
+		h.cPicked.Inc()
 		// Run the task body in its own proc so a worker crash
 		// (KillWorker) can abandon it: the orphaned body keeps no
 		// resources once the GPU context is destroyed.
@@ -235,6 +273,8 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 			// Crash: abandon the body, abort its kernels, fail the
 			// task so the DFK can retry elsewhere.
 			t.EndTime = p.Now()
+			h.obs.EndSpan(rspan, obs.String("status", "lost"))
+			h.cKilled.Inc()
 			cleanup()
 			if !taskDone.Fired() {
 				taskDone.Fail(ErrWorkerLost)
@@ -245,8 +285,12 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		}
 		t.EndTime = p.Now()
 		if taskDone.Err() != nil {
+			h.obs.EndSpan(rspan,
+				obs.String("status", "failed"),
+				obs.String("error", taskDone.Err().Error()))
 			sub.done.Fail(taskDone.Err())
 		} else {
+			h.obs.EndSpan(rspan, obs.String("status", "done"))
 			sub.done.Fire(taskDone.Value())
 		}
 	}
@@ -292,7 +336,12 @@ func (h *HTEX) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
 		done.Fail(faas.ErrShutdown)
 		return done
 	}
+	// The queue span shares the task's track, nesting under its root
+	// span; the picking worker ends it.
+	sub.qspan = h.obs.StartSpan("htex", "queue", faas.TaskTrack(task.ID), task.Span,
+		obs.String("executor", h.cfg.Label))
 	if !h.queue.TrySend(sub) {
+		h.obs.EndSpan(sub.qspan, obs.String("status", "overflow"))
 		done.Fail(fmt.Errorf("htex %q: queue full", h.cfg.Label))
 	}
 	return done
@@ -312,6 +361,7 @@ func (h *HTEX) Shutdown() {
 		if !ok {
 			break
 		}
+		h.obs.EndSpan(sub.qspan, obs.String("status", "shutdown"))
 		sub.done.Fail(faas.ErrShutdown)
 	}
 	h.workers = nil
@@ -334,6 +384,7 @@ func (h *HTEX) ShutdownAndWait(p *devent.Proc) {
 // workers: the paper's MPS/MIG re-partition path, which requires full
 // process restart and re-pays every cold-start component.
 func (h *HTEX) Restart(p *devent.Proc, accelerators []string, percentages []int) error {
+	t0 := p.Now()
 	h.ShutdownAndWait(p)
 	cfg := h.cfg
 	cfg.AvailableAccelerators = accelerators
@@ -343,7 +394,11 @@ func (h *HTEX) Restart(p *devent.Proc, accelerators []string, percentages []int)
 	}
 	h.cfg = cfg
 	h.queue = devent.NewChan[*submission](h.env, 1<<20)
-	return h.Start()
+	err := h.Start()
+	h.obs.AddSpan("htex", "restart", h.cfg.Label, 0, t0, p.Now(),
+		obs.String("executor", h.cfg.Label))
+	h.cRestarts.Inc()
+	return err
 }
 
 // worker is one pilot-job worker process.
@@ -356,6 +411,7 @@ type worker struct {
 	state   map[string]any
 	kill    *devent.Event
 	ready   bool
+	runSpan obs.SpanID
 }
 
 // Name implements faas.WorkerHandle.
@@ -375,6 +431,7 @@ func (w *worker) GPUContext(p *devent.Proc) (*simgpu.Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx.SetTraceParent(w.runSpan)
 	w.gpu = ctx
 	return ctx, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/devent"
 	"repro/internal/faas"
+	"repro/internal/obs"
 )
 
 // ThreadPool is the analogue of Python's ThreadPoolExecutor, which
@@ -16,7 +17,8 @@ type ThreadPool struct {
 	size     int
 	queue    *devent.Chan[*submission]
 	shutdown *devent.Event
-	monitor  func(*faas.Task)
+	obs      *obs.Collector
+	cPicked  *obs.Counter
 	started  bool
 	nworkers int
 }
@@ -37,8 +39,12 @@ func NewThreadPool(env *devent.Env, label string, size int) (*ThreadPool, error)
 // Label implements faas.Executor.
 func (tp *ThreadPool) Label() string { return tp.label }
 
-// SetMonitor installs the DFK's task-status hook.
-func (tp *ThreadPool) SetMonitor(fn func(*faas.Task)) { tp.monitor = fn }
+// SetCollector wires the DFK's collector for queue/run spans and
+// pickup counts.
+func (tp *ThreadPool) SetCollector(c *obs.Collector) {
+	tp.obs = c
+	tp.cPicked = c.Metrics().Counter("htex_tasks_picked_total", obs.L("executor", tp.label))
+}
 
 // Workers implements faas.Executor.
 func (tp *ThreadPool) Workers() int { return tp.nworkers }
@@ -64,14 +70,19 @@ func (tp *ThreadPool) Start() error {
 				t.Status = faas.TaskRunning
 				t.StartTime = p.Now()
 				t.Worker = name
-				if tp.monitor != nil {
-					tp.monitor(t)
-				}
+				tp.obs.EndSpan(sub.qspan, obs.String("worker", name))
+				rspan := tp.obs.StartSpan("htex", "run", name, t.Span,
+					obs.Int("task", t.ID), obs.String("app", t.App))
+				tp.cPicked.Inc()
 				result, err := sub.app.Fn(faas.NewInvocation(p, t, sub.args, nil, nil))
 				t.EndTime = p.Now()
 				if err != nil {
+					tp.obs.EndSpan(rspan,
+						obs.String("status", "failed"),
+						obs.String("error", err.Error()))
 					sub.done.Fail(err)
 				} else {
+					tp.obs.EndSpan(rspan, obs.String("status", "done"))
 					sub.done.Fire(result)
 				}
 			}
@@ -87,7 +98,11 @@ func (tp *ThreadPool) Submit(task *faas.Task, app faas.App, args []any) *devent.
 		done.Fail(faas.ErrShutdown)
 		return done
 	}
-	if !tp.queue.TrySend(&submission{task: task, app: app, args: args, done: done}) {
+	sub := &submission{task: task, app: app, args: args, done: done}
+	sub.qspan = tp.obs.StartSpan("htex", "queue", faas.TaskTrack(task.ID), task.Span,
+		obs.String("executor", tp.label))
+	if !tp.queue.TrySend(sub) {
+		tp.obs.EndSpan(sub.qspan, obs.String("status", "overflow"))
 		done.Fail(fmt.Errorf("htex: thread pool %q queue full", tp.label))
 	}
 	return done
@@ -105,6 +120,7 @@ func (tp *ThreadPool) Shutdown() {
 		if !ok {
 			break
 		}
+		tp.obs.EndSpan(sub.qspan, obs.String("status", "shutdown"))
 		sub.done.Fail(faas.ErrShutdown)
 	}
 	tp.nworkers = 0

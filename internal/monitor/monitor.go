@@ -7,15 +7,18 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/faas"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -47,27 +50,45 @@ type DB struct {
 // New creates an empty monitoring DB.
 func New() *DB { return &DB{} }
 
-// Attach subscribes the DB to a DFK's task events; terminal states
+// Attach subscribes the DB to a DFK's collector; terminal task spans
 // (done, failed) produce records.
-func (db *DB) Attach(d *faas.DFK) {
-	d.OnTaskEvent(func(ev faas.TaskEvent) {
-		if ev.Status != faas.TaskDone && ev.Status != faas.TaskFailed {
+func (db *DB) Attach(d *faas.DFK) { db.AttachCollector(d.Collector()) }
+
+// AttachCollector derives records from the span stream: every ended
+// "dfk"/"task" span carries the fields a Record needs as attributes.
+func (db *DB) AttachCollector(c *obs.Collector) {
+	c.OnSpanEnd(func(s obs.Span) {
+		if s.Cat != "dfk" || s.Name != "task" {
 			return
 		}
-		t := ev.Task
-		db.records = append(db.records, Record{
-			TaskID:   t.ID,
-			App:      t.App,
-			Executor: t.Executor,
-			Worker:   t.Worker,
-			Status:   ev.Status,
-			Submit:   t.SubmitTime,
-			Start:    t.StartTime,
-			End:      t.EndTime,
-			Tries:    t.Tries,
-			Err:      t.Err,
-		})
+		db.records = append(db.records, recordFromSpan(s))
 	})
+}
+
+// recordFromSpan rebuilds a task record from its root span. The span
+// interval is submit→end; the start time travels as the integer
+// nanosecond attribute start_ns so queue delay and run time are exact.
+func recordFromSpan(s obs.Span) Record {
+	r := Record{
+		App:      s.Attr("app"),
+		Executor: s.Attr("executor"),
+		Worker:   s.Attr("worker"),
+		Status:   faas.TaskFailed,
+		Submit:   s.Start,
+		End:      s.End,
+	}
+	r.TaskID, _ = strconv.Atoi(s.Attr("task"))
+	r.Tries, _ = strconv.Atoi(s.Attr("tries"))
+	if s.Attr("status") == faas.TaskDone.String() {
+		r.Status = faas.TaskDone
+	}
+	if ns, err := strconv.ParseInt(s.Attr("start_ns"), 10, 64); err == nil {
+		r.Start = time.Duration(ns)
+	}
+	if msg := s.Attr("error"); msg != "" {
+		r.Err = errors.New(msg)
+	}
+	return r
 }
 
 // Add inserts a record directly (tests, external sources).
@@ -235,6 +256,23 @@ func (db *DB) Report(w io.Writer) error {
 	fmt.Fprintln(tw, "worker\ttasks\tbusy (s)")
 	for _, wk := range db.Workers() {
 		fmt.Fprintf(tw, "%s\t%d\t%.3f\n", wk.Worker, wk.Tasks, wk.Busy.Seconds())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	failed := db.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w, "\nfailures:")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "task\tapp\tworker\ttries\terror")
+	for _, r := range failed {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%s\n", r.TaskID, r.App, r.Worker, r.Tries, errStr)
 	}
 	return tw.Flush()
 }

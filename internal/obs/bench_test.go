@@ -1,0 +1,90 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/obs"
+)
+
+// BenchmarkProcSleepLoopObserved is devent's BenchmarkProcSleepLoop
+// with a collector installed as the Env observer: the per-event cost of
+// live scheduler counters. Compare against the devent package baseline
+// to bound the observer overhead.
+func BenchmarkProcSleepLoopObserved(b *testing.B) {
+	env := devent.NewEnv()
+	env.SetObserver(obs.New(env))
+	env.Spawn("sleeper", func(p *devent.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanPingPongObserved mirrors devent's BenchmarkChanPingPong
+// under an installed observer.
+func BenchmarkChanPingPongObserved(b *testing.B) {
+	env := devent.NewEnv()
+	env.SetObserver(obs.New(env))
+	ping := devent.NewChan[int](env, 0)
+	pong := devent.NewChan[int](env, 0)
+	env.Spawn("a", func(p *devent.Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(p, i)
+			pong.Recv(p)
+		}
+	})
+	env.Spawn("b", func(p *devent.Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Recv(p)
+			pong.Send(p, i)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkNilCollectorSpan measures the disabled-instrumentation fast
+// path: all span calls on a nil collector must be a nil check and no
+// allocations.
+func BenchmarkNilCollectorSpan(b *testing.B) {
+	var c *obs.Collector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := c.StartSpan("cat", "name", "track", 0)
+		c.EndSpan(id)
+	}
+}
+
+// BenchmarkNilInstruments measures pre-resolved nil instruments (the
+// pattern hot paths use when no collector is attached).
+func BenchmarkNilInstruments(b *testing.B) {
+	var cnt *obs.Counter
+	var g *obs.Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cnt.Inc()
+		g.Set(float64(i))
+	}
+}
+
+// BenchmarkSpanLifecycle measures the enabled span path.
+func BenchmarkSpanLifecycle(b *testing.B) {
+	env := devent.NewEnv()
+	c := obs.New(env)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.StartSpan("htex", "run", "w0", 0)
+		c.EndSpan(id)
+	}
+}

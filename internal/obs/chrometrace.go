@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteChromeTrace emits the collectors' spans as Chrome trace-event
+// JSON ("X" complete events), loadable in Perfetto or chrome://tracing.
+//
+// Each collector becomes one process (pid = position in the argument
+// list, named by its scope); each track becomes a thread in first-seen
+// order. Causal links are carried two ways: every event's args hold
+// the span's id and parent id, and parent/child pairs on different
+// tracks additionally get flow ("s"/"f") events so Perfetto draws the
+// arrow, e.g. from a DFK task lane to the worker that ran it.
+//
+// The JSON is written by hand in a fixed field order — no map
+// iteration — so output is byte-identical for identical inputs.
+func WriteChromeTrace(w io.Writer, collectors ...*Collector) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+			bw.WriteString("\n")
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+	for ci, c := range collectors {
+		if c == nil {
+			continue
+		}
+		pid := ci + 1
+		scope := c.Scope()
+		if scope == "" {
+			scope = "env" + itoa(int64(pid))
+		}
+		sep()
+		writeMeta(bw, pid, 0, "process_name", scope)
+		spans := c.Spans()
+		// Tracks become tids in first-seen order.
+		tids := make(map[string]int)
+		tidOf := func(track string) int {
+			if id, ok := tids[track]; ok {
+				return id
+			}
+			id := len(tids) + 1
+			tids[track] = id
+			sep()
+			writeMeta(bw, pid, id, "thread_name", track)
+			return id
+		}
+		byID := make(map[SpanID]*Span, len(spans))
+		for i := range spans {
+			byID[spans[i].ID] = &spans[i]
+		}
+		for i := range spans {
+			s := &spans[i]
+			tid := tidOf(s.Track)
+			sep()
+			writeComplete(bw, pid, tid, s)
+			// Cross-track causal link: flow from the parent's slice to
+			// this span's start.
+			if s.Parent != 0 {
+				if ps, ok := byID[s.Parent]; ok && ps.Track != s.Track {
+					ptid := tidOf(ps.Track)
+					sep()
+					writeFlow(bw, "s", pid, ptid, s.Start, int64(s.ID), false)
+					sep()
+					writeFlow(bw, "f", pid, tid, s.Start, int64(s.ID), true)
+				}
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders a virtual time as fractional microseconds, the unit of
+// the trace-event format, keeping nanosecond precision.
+func usec(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e3, 'f', 3, 64)
+}
+
+func writeQuoted(bw *bufio.Writer, s string) {
+	bw.Write(strconv.AppendQuote(nil, s))
+}
+
+func writeMeta(bw *bufio.Writer, pid, tid int, name, value string) {
+	bw.WriteString("{\"ph\":\"M\",\"pid\":")
+	bw.WriteString(itoa(int64(pid)))
+	if tid > 0 {
+		bw.WriteString(",\"tid\":")
+		bw.WriteString(itoa(int64(tid)))
+	}
+	bw.WriteString(",\"name\":\"")
+	bw.WriteString(name)
+	bw.WriteString("\",\"args\":{\"name\":")
+	writeQuoted(bw, value)
+	bw.WriteString("}}")
+}
+
+func writeComplete(bw *bufio.Writer, pid, tid int, s *Span) {
+	bw.WriteString("{\"ph\":\"X\",\"pid\":")
+	bw.WriteString(itoa(int64(pid)))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(itoa(int64(tid)))
+	bw.WriteString(",\"ts\":")
+	bw.WriteString(usec(s.Start))
+	bw.WriteString(",\"dur\":")
+	bw.WriteString(usec(s.End - s.Start))
+	bw.WriteString(",\"cat\":")
+	writeQuoted(bw, s.Cat)
+	bw.WriteString(",\"name\":")
+	writeQuoted(bw, s.Name)
+	bw.WriteString(",\"args\":{\"id\":")
+	bw.WriteString(itoa(int64(s.ID)))
+	if s.Parent != 0 {
+		bw.WriteString(",\"parent\":")
+		bw.WriteString(itoa(int64(s.Parent)))
+	}
+	for _, a := range s.Attrs {
+		bw.WriteString(",")
+		writeQuoted(bw, a.Key)
+		bw.WriteString(":")
+		writeQuoted(bw, a.Value)
+	}
+	bw.WriteString("}}")
+}
+
+func writeFlow(bw *bufio.Writer, ph string, pid, tid int, ts time.Duration, id int64, bindEnclosing bool) {
+	bw.WriteString("{\"ph\":\"")
+	bw.WriteString(ph)
+	bw.WriteString("\",\"pid\":")
+	bw.WriteString(itoa(int64(pid)))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(itoa(int64(tid)))
+	bw.WriteString(",\"ts\":")
+	bw.WriteString(usec(ts))
+	bw.WriteString(",\"id\":")
+	bw.WriteString(itoa(id))
+	bw.WriteString(",\"cat\":\"link\",\"name\":\"link\"")
+	if bindEnclosing {
+		bw.WriteString(",\"bp\":\"e\"")
+	}
+	bw.WriteString("}")
+}

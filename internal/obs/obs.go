@@ -1,0 +1,259 @@
+// Package obs is the unified observability layer: hierarchical spans
+// with parent/child causal links plus a typed metrics registry, both
+// stamped with virtual time from the simulation clock.
+//
+// A Collector is per-Env and, like every devent object, must only be
+// touched from sim context. Merging across Envs happens at export time
+// (WriteChromeTrace, WritePrometheus) in the order collectors are
+// passed, so exported output is byte-identical regardless of how the
+// Envs were scheduled onto OS threads — the same contract the harness
+// package guarantees for report sections.
+//
+// Every method is nil-receiver safe: a nil *Collector (instrumentation
+// disabled) is a no-op. Hot paths should additionally guard with
+// `if c != nil` before assembling attributes so the disabled path
+// allocates nothing.
+package obs
+
+import "time"
+
+// Clock supplies virtual timestamps; *devent.Env satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// SpanID identifies a span within one Collector. 0 means "no span"
+// and is valid anywhere a parent is expected.
+type SpanID int64
+
+// Attr is one string-valued span attribute.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{k, itoa(int64(v))} }
+
+// Float builds a float attribute (shortest round-trip formatting).
+func Float(k string, v float64) Attr { return Attr{k, ftoa(v)} }
+
+// Dur builds a duration attribute holding integer nanoseconds, so
+// consumers can recover the exact virtual time.
+func Dur(k string, d time.Duration) Attr { return Attr{k, itoa(int64(d))} }
+
+// Span is one timed activity with a causal parent.
+type Span struct {
+	ID     SpanID
+	Parent SpanID // 0 = root
+	Cat    string // subsystem ("dfk", "htex", "simgpu")
+	Name   string // activity ("task", "run", kernel name)
+	Track  string // rendering row (worker, context, task lane)
+	Start  time.Duration
+	End    time.Duration // -1 while open
+	Attrs  []Attr
+}
+
+// Duration returns End-Start (negative while the span is open).
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Attr returns the value of the named attribute ("" if absent).
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Collector accumulates spans and metrics for one Env.
+type Collector struct {
+	clock  Clock
+	scope  string
+	spans  []Span
+	open   map[SpanID]int // open span ID -> index into spans
+	nextID SpanID
+	reg    *Registry
+	onEnd  []func(Span)
+
+	// Scheduler instruments, resolved once so the per-event Dispatched
+	// callback is a single field increment.
+	cDispatched *Counter
+	cSpawned    *Counter
+	gProcs      *Gauge
+}
+
+// New creates a collector over the given clock.
+func New(clock Clock) *Collector {
+	c := &Collector{
+		clock: clock,
+		open:  make(map[SpanID]int),
+		reg:   NewRegistry(clock),
+	}
+	c.cDispatched = c.reg.Counter("devent_events_dispatched_total")
+	c.cSpawned = c.reg.Counter("devent_procs_spawned_total")
+	c.gProcs = c.reg.Gauge("devent_procs_live")
+	return c
+}
+
+// SetScope names the collector's origin (experiment cell); exporters
+// use it as the process name / scope label.
+func (c *Collector) SetScope(s string) {
+	if c != nil {
+		c.scope = s
+	}
+}
+
+// Scope returns the collector's scope name.
+func (c *Collector) Scope() string {
+	if c == nil {
+		return ""
+	}
+	return c.scope
+}
+
+// Metrics returns the collector's registry (nil for a nil collector;
+// the nil registry is itself a no-op).
+func (c *Collector) Metrics() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// StartSpan opens a span at the current virtual time and returns its
+// ID for EndSpan and for parenting children. parent 0 makes a root.
+func (c *Collector) StartSpan(cat, name, track string, parent SpanID, attrs ...Attr) SpanID {
+	if c == nil {
+		return 0
+	}
+	c.nextID++
+	id := c.nextID
+	c.spans = append(c.spans, Span{
+		ID: id, Parent: parent, Cat: cat, Name: name, Track: track,
+		Start: c.clock.Now(), End: -1, Attrs: attrs,
+	})
+	c.open[id] = len(c.spans) - 1
+	return id
+}
+
+// EndSpan closes the span at the current virtual time, appending any
+// final attributes. Ending an unknown or already-ended span is a
+// no-op. OnSpanEnd listeners fire with the completed span.
+func (c *Collector) EndSpan(id SpanID, attrs ...Attr) {
+	if c == nil || id == 0 {
+		return
+	}
+	i, ok := c.open[id]
+	if !ok {
+		return
+	}
+	delete(c.open, id)
+	s := &c.spans[i]
+	s.End = c.clock.Now()
+	if len(attrs) > 0 {
+		s.Attrs = append(s.Attrs, attrs...)
+	}
+	c.fireEnd(*s)
+}
+
+// AddSpan records a span retroactively with explicit start/end times
+// (e.g. a kernel whose record is only known at completion). Listeners
+// fire as for EndSpan.
+func (c *Collector) AddSpan(cat, name, track string, parent SpanID, start, end time.Duration, attrs ...Attr) SpanID {
+	if c == nil {
+		return 0
+	}
+	if end < start {
+		end = start
+	}
+	c.nextID++
+	id := c.nextID
+	s := Span{
+		ID: id, Parent: parent, Cat: cat, Name: name, Track: track,
+		Start: start, End: end, Attrs: attrs,
+	}
+	c.spans = append(c.spans, s)
+	c.fireEnd(s)
+	return id
+}
+
+func (c *Collector) fireEnd(s Span) {
+	for _, fn := range c.onEnd {
+		fn(s)
+	}
+}
+
+// OnSpanEnd registers a listener called with every completed span
+// (EndSpan and AddSpan), in registration order, from sim context.
+func (c *Collector) OnSpanEnd(fn func(Span)) {
+	if c != nil {
+		c.onEnd = append(c.onEnd, fn)
+	}
+}
+
+// Len returns the number of recorded spans.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.spans)
+}
+
+// OpenSpans returns how many spans are still open.
+func (c *Collector) OpenSpans() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.open)
+}
+
+// Spans returns a snapshot of all spans in emission order. Spans still
+// open (e.g. daemon worker lifecycles when the simulation drains) are
+// clamped to end at the current virtual time, so every snapshot
+// satisfies End >= Start.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	out := append([]Span(nil), c.spans...)
+	now := c.clock.Now()
+	for i := range out {
+		if out[i].End < out[i].Start {
+			out[i].End = now
+			if out[i].End < out[i].Start {
+				out[i].End = out[i].Start
+			}
+		}
+	}
+	return out
+}
+
+// ProcSpawned implements the devent Observer hook.
+func (c *Collector) ProcSpawned(name string, at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.cSpawned.Inc()
+	c.gProcs.Add(1)
+}
+
+// ProcExited implements the devent Observer hook.
+func (c *Collector) ProcExited(name string, at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.gProcs.Add(-1)
+}
+
+// Dispatched implements the devent Observer hook; it fires once per
+// executed event and must stay allocation-free.
+func (c *Collector) Dispatched(at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.cDispatched.Inc()
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus emits the collectors' registries in the Prometheus
+// text exposition format. Series from different collectors are merged
+// under one # TYPE header per metric and distinguished by a "scope"
+// label (the collector's scope, or "envN" by position). Families are
+// sorted by name and series by label signature, so output is
+// byte-identical for identical inputs.
+func WritePrometheus(w io.Writer, collectors ...*Collector) error {
+	type entry struct {
+		set    []Label // instrument labels plus scope, sorted by key
+		labels string  // set rendered as {k="v",...}
+		inst   any
+	}
+	type fam struct {
+		kind    Kind
+		buckets []float64
+		entries []entry
+	}
+	fams := make(map[string]*fam)
+	for ci, c := range collectors {
+		if c == nil || c.reg == nil {
+			continue
+		}
+		scope := c.Scope()
+		if scope == "" {
+			scope = "env" + itoa(int64(ci+1))
+		}
+		for _, name := range c.reg.familyNames() {
+			f := c.reg.families[name]
+			mf, ok := fams[name]
+			if !ok {
+				mf = &fam{kind: f.kind, buckets: f.buckets}
+				fams[name] = mf
+			} else if mf.kind != f.kind {
+				return fmt.Errorf("obs: metric %q is %v in one collector, %v in another", name, mf.kind, f.kind)
+			}
+			for _, inst := range f.series {
+				var labels []Label
+				switch v := inst.(type) {
+				case *Counter:
+					labels = v.labels
+				case *Gauge:
+					labels = v.labels
+				case *Histogram:
+					labels = v.labels
+				}
+				set := sortedLabels(labels, L("scope", scope))
+				mf.entries = append(mf.entries, entry{
+					set:    set,
+					labels: renderLabels(set),
+					inst:   inst,
+				})
+			}
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		mf := fams[name]
+		sort.Slice(mf.entries, func(i, j int) bool { return mf.entries[i].labels < mf.entries[j].labels })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, mf.kind)
+		for _, e := range mf.entries {
+			switch v := e.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %s\n", name, e.labels, ftoa(v.v))
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", name, e.labels, ftoa(v.v))
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range v.bounds {
+					cum += v.counts[i]
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+						renderLabels(sortedLabels(e.set, L("le", ftoa(b)))), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+					renderLabels(sortedLabels(e.set, L("le", "+Inf"))), v.n)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, e.labels, ftoa(v.sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, e.labels, v.n)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sortedLabels merges label slices into one copy sorted by key.
+func sortedLabels(labels []Label, extra ...Label) []Label {
+	ls := append(append([]Label(nil), labels...), extra...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// renderLabels formats sorted labels as {k="v",...}.
+func renderLabels(ls []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Inf is the +Inf bucket bound for explicit use in custom buckets.
+var Inf = math.Inf(1)

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{k, v} }
+
+// Kind distinguishes instrument families.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// DefLatencyBuckets are the default histogram bounds (seconds) for
+// queue delays and run times: 1 ms to 4 min in roughly 2.5x steps.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 60, 120, 240,
+}
+
+// Counter is a monotonically increasing value. A nil *Counter is a
+// no-op, so instrumented sites can hold pre-resolved pointers and skip
+// the registry lookup when collection is disabled.
+type Counter struct {
+	labels []Label
+	v      float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(d float64) {
+	if c != nil && d > 0 {
+		c.v += d
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value whose history is kept as a
+// piecewise-constant step series in virtual time.
+type Gauge struct {
+	labels []Label
+	clock  Clock
+	v      float64
+	series metrics.StepSeries
+}
+
+// Set records the value at the current virtual time.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if g.clock != nil {
+		g.series.Set(g.clock.Now(), v)
+	}
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.Set(g.v + d)
+	}
+}
+
+// Value returns the latest value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Series exposes the gauge's full step history (nil receiver: nil).
+func (g *Gauge) Series() *metrics.StepSeries {
+	if g == nil {
+		return nil
+	}
+	return &g.series
+}
+
+// Histogram counts observations into cumulative buckets with explicit
+// upper bounds, matching the Prometheus exposition model.
+type Histogram struct {
+	labels []Label
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []uint64  // len(bounds)+1, last is the +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// family is one named metric with a fixed kind and a series per label
+// set.
+type family struct {
+	name    string
+	kind    Kind
+	buckets []float64
+	series  map[string]any // canonical label key -> instrument
+}
+
+// Registry holds one collector's instruments. Lookups are idempotent:
+// the same name and label set always return the same instrument. A
+// nil *Registry returns nil instruments, which are themselves no-ops.
+type Registry struct {
+	clock    Clock
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry stamping gauges with clock.
+func NewRegistry(clock Clock) *Registry {
+	return &Registry{clock: clock, families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name string, kind Kind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// canonical sorts a copy of the labels by key and renders the series
+// identity string.
+func canonical(labels []Label) ([]Label, string) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := ""
+	for _, l := range ls {
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return ls, key
+}
+
+// Counter returns (creating if needed) the counter with these labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, KindCounter, nil)
+	ls, key := canonical(labels)
+	if c, ok := f.series[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{labels: ls}
+	f.series[key] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with these labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, KindGauge, nil)
+	ls, key := canonical(labels)
+	if g, ok := f.series[key]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{labels: ls, clock: r.clock}
+	f.series[key] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with these
+// labels. The first registration of a name fixes its buckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	f := r.family(name, KindHistogram, buckets)
+	ls, key := canonical(labels)
+	if h, ok := f.series[key]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{labels: ls, bounds: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
+	f.series[key] = h
+	return h
+}
+
+// familyNames returns the registered metric names, sorted.
+func (r *Registry) familyNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

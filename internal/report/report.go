@@ -232,11 +232,11 @@ func Table1(w io.Writer) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "technique\tutilization\tthroughput (req/s)\tmean latency (s)\tvictim CoV\treconfig (s)\tmem isolation\tsoftware")
+	fmt.Fprintln(tw, "technique\tutilization\tthroughput (req/s)\tmean latency (s)\tvictim CoV\tctx switches\treconfig (s)\tmem isolation\tsoftware")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.0f%%\t%.3f\t%s\t%.3f\t%s\t%v\t%s\n",
+		fmt.Fprintf(tw, "%s\t%.0f%%\t%.3f\t%s\t%.3f\t%d\t%s\t%v\t%s\n",
 			r.Technique, r.Utilization*100, r.Throughput, sec(r.MeanLatency),
-			r.VictimCoV, sec(r.ReconfigDowntime), r.MemoryIsolated, r.Software)
+			r.VictimCoV, r.ContextSwitches, sec(r.ReconfigDowntime), r.MemoryIsolated, r.Software)
 	}
 	return tw.Flush()
 }

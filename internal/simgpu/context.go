@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/devent"
+	"repro/internal/obs"
 )
 
 // ErrDestroyed is returned for operations on a destroyed context.
@@ -42,7 +43,15 @@ type Context struct {
 	attached  []*Segment
 	destroyed bool
 	createdAt time.Duration
+
+	// traceParent is the span kernel spans launched through this
+	// context hang under (the worker's current run span).
+	traceParent obs.SpanID
 }
+
+// SetTraceParent parents subsequent kernel spans under the given span
+// (e.g. the htex run span of the invocation driving this context).
+func (c *Context) SetTraceParent(id obs.SpanID) { c.traceParent = id }
 
 // Name returns the context name.
 func (c *Context) Name() string { return c.name }

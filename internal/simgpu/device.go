@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/devent"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ErrMIGMode is returned when an operation conflicts with the device's
@@ -30,6 +31,7 @@ type Device struct {
 	nctx       int
 	nInst      int
 	onDone     func(KernelRecord)
+	obsC       *obs.Collector
 }
 
 // NewDevice creates a device with time-sharing policy (the GPU
@@ -65,6 +67,28 @@ func (d *Device) Env() *devent.Env { return d.env }
 // OnKernelDone installs a hook receiving every completed or aborted
 // kernel on the device, including MIG instances.
 func (d *Device) OnKernelDone(fn func(KernelRecord)) { d.onDone = fn }
+
+// SetCollector attaches a collector to every compute domain (root and
+// MIG instances, current and future): kernels become spans, and busy
+// SMs, queue depth, and context switches become per-domain metrics.
+func (d *Device) SetCollector(c *obs.Collector) {
+	d.obsC = c
+	d.root.setCollector(c)
+	for _, in := range d.instances {
+		in.dom.setCollector(c)
+	}
+}
+
+// ContextSwitches returns the total scheduling context switches across
+// the root domain and all MIG instances (time-share penalties plus
+// vGPU quantum rotations).
+func (d *Device) ContextSwitches() int {
+	n := d.root.switches
+	for _, in := range d.instances {
+		n += in.dom.switches
+	}
+	return n
+}
 
 func (d *Device) kernelDone(rec KernelRecord) {
 	if d.onDone != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/devent"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Policy selects how concurrent contexts share a compute domain.
@@ -60,6 +61,30 @@ type domain struct {
 	rotT       *devent.Timer
 	busy       metrics.StepSeries
 	onDone     func(KernelRecord)
+
+	// Observability: kernel spans and per-domain gauges flow into obs
+	// when a collector is attached; everything below is nil-safe.
+	obs      *obs.Collector
+	gBusy    *obs.Gauge
+	gQueue   *obs.Gauge
+	cSwitch  *obs.Counter
+	cDone    *obs.Counter
+	cAbort   *obs.Counter
+	switches int
+	depth    int
+}
+
+// setCollector attaches a collector and resolves the domain's
+// instruments once, so the scheduler hot path pays only nil checks.
+func (d *domain) setCollector(c *obs.Collector) {
+	d.obs = c
+	m := c.Metrics()
+	l := obs.L("domain", d.name)
+	d.gBusy = m.Gauge("simgpu_domain_busy_sms", l)
+	d.gQueue = m.Gauge("simgpu_domain_queue_depth", l)
+	d.cSwitch = m.Counter("simgpu_domain_context_switches_total", l)
+	d.cDone = m.Counter("simgpu_kernels_completed_total", l)
+	d.cAbort = m.Counter("simgpu_kernels_aborted_total", l)
 }
 
 func newDomain(env *devent.Env, name string, sms int, perSM, bw float64, switchCost time.Duration) *domain {
@@ -114,6 +139,8 @@ func (d *domain) launch(c *Context, k Kernel) *devent.Event {
 		frac:    1,
 	}
 	c.queue = append(c.queue, l)
+	d.depth++
+	d.gQueue.Set(float64(d.depth))
 	if len(c.queue) == 1 {
 		d.reevaluate()
 	}
@@ -192,6 +219,8 @@ func (d *domain) reevaluate() {
 		if !l.started {
 			if d.policy == PolicyTimeShare && d.lastCtx != nil && l.ctx != d.lastCtx {
 				l.extra = d.switchCost
+				d.switches++
+				d.cSwitch.Inc()
 			}
 			l.started = true
 			l.start = now
@@ -205,6 +234,7 @@ func (d *domain) reevaluate() {
 		total += smAlloc[i]
 	}
 	d.busy.Set(now, total)
+	d.gBusy.Set(total)
 	if d.policy == PolicyVGPU {
 		d.ensureRotation()
 	}
@@ -328,6 +358,8 @@ func (d *domain) ensureRotation() {
 	d.rotT = d.env.Schedule(d.quantum, func() {
 		d.rotT = nil
 		d.activeGrp = (d.activeGrp + 1) % len(d.groups)
+		d.switches++
+		d.cSwitch.Inc()
 		d.reevaluate()
 	})
 }
@@ -351,6 +383,16 @@ func (d *domain) complete(l *launched) {
 		End:     now,
 		SMs:     l.smAlloc,
 	}
+	d.depth--
+	d.gQueue.Set(float64(d.depth))
+	d.cDone.Inc()
+	if d.obs != nil {
+		d.obs.AddSpan("simgpu", l.k.Name, l.ctx.name, l.ctx.traceParent, l.start, now,
+			obs.String("domain", d.name),
+			obs.String("context", l.ctx.name),
+			obs.Float("sms", l.smAlloc),
+			obs.Dur("queue_ns", l.start-l.enqueue))
+	}
 	if d.onDone != nil {
 		d.onDone(rec)
 	}
@@ -372,6 +414,18 @@ func (d *domain) abortContext(c *Context) {
 			l.finishT.Cancel()
 			l.finishT = nil
 		}
+		d.depth--
+		d.cAbort.Inc()
+		if d.obs != nil {
+			start := l.start
+			if !l.started {
+				start = l.enqueue
+			}
+			d.obs.AddSpan("simgpu", l.k.Name, c.name, c.traceParent, start, now,
+				obs.String("domain", d.name),
+				obs.String("context", c.name),
+				obs.String("status", "aborted"))
+		}
 		if d.onDone != nil {
 			d.onDone(KernelRecord{
 				Kernel: l.k, Context: c.name, Domain: d.name,
@@ -381,6 +435,7 @@ func (d *domain) abortContext(c *Context) {
 		l.done.Fail(ErrAborted)
 	}
 	c.queue = nil
+	d.gQueue.Set(float64(d.depth))
 	d.removeContext(c)
 	d.reevaluate()
 }

@@ -205,6 +205,9 @@ func (d *Device) placeInstance(prof MIGProfile, start int) *Instance {
 	// process per instance, for which the policy is irrelevant).
 	in.dom.policy = PolicySpatial
 	in.dom.onDone = d.kernelDone
+	if d.obsC != nil {
+		in.dom.setCollector(d.obsC)
+	}
 	d.instances = append(d.instances, in)
 	sort.Slice(d.instances, func(i, j int) bool { return d.instances[i].start < d.instances[j].start })
 	return in

@@ -1,0 +1,30 @@
+package trace
+
+import "repro/internal/obs"
+
+// SpanFromObs converts a collector span to a trace span: the track is
+// kept, and the label/kind prefer the "app" attribute (htex run spans
+// carry it) falling back to the span name.
+func SpanFromObs(s obs.Span) Span {
+	label := s.Attr("app")
+	if label == "" {
+		label = s.Name
+	}
+	return Span{
+		Track: s.Track,
+		Label: label,
+		Kind:  label,
+		Start: s.Start,
+		End:   s.End,
+	}
+}
+
+// FromObs builds a Log from collector spans (Gantt rendering of a
+// causal trace).
+func FromObs(spans []obs.Span) *Log {
+	var log Log
+	for _, s := range spans {
+		log.Add(SpanFromObs(s))
+	}
+	return &log
+}
