@@ -1,14 +1,16 @@
 # Developer entry points. `make check` is the tier-1 gate (build, vet,
-# tests with the race detector — the parallel harness must stay
-# race-clean); `make bench` regenerates the kernel and paper benchmark
+# test); `make race` reruns the tests under the race detector — the
+# parallel harness and the chaos suite must stay race-clean — and runs
+# as its own CI job. `make cover` prints per-package statement
+# coverage. `make bench` regenerates the kernel and paper benchmark
 # records as `go test -json` event streams (BENCH_devent.json,
 # BENCH_paper.json), which benchstat and x/perf tooling both consume.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-devent bench-paper clean
+.PHONY: check build vet test race cover fuzz bench bench-devent bench-paper clean
 
-check: build vet race
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -21,6 +23,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz passes over the chaos-spec parser and executor config
+# validator (the checked-in corpora run as regular tests in `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s ./internal/faas/htex
 
 bench: bench-devent bench-paper
 

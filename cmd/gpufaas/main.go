@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/moldesign"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -74,16 +75,25 @@ func runMultiplex(args []string) error {
 	tokens := fs.Int("tokens", 20, "output tokens per completion")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
+	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r, err := core.RunMultiplex(core.MultiplexConfig{
+	cfg := core.MultiplexConfig{
 		Mode:         core.Mode(*mode),
 		Processes:    *procs,
 		Completions:  *completions,
 		OutputTokens: *tokens,
 		Observe:      *traceOut != "" || *metricsOut != "",
-	})
+	}
+	if *chaos != "" {
+		spec, err := fault.ParseSpec(*chaos)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		cfg.Chaos = &spec
+	}
+	r, err := core.RunMultiplex(cfg)
 	if err != nil {
 		return err
 	}
@@ -109,6 +119,13 @@ func runMultiplex(args []string) error {
 		r.Latencies.Mean().Seconds(), r.Latencies.Percentile(50).Seconds(),
 		r.Latencies.Percentile(95).Seconds(), r.Latencies.Max().Seconds())
 	fmt.Printf("  utilization:   %.0f%%\n", r.Utilization*100)
+	if r.Checker != nil {
+		fmt.Printf("  chaos:         %d faults injected, %d completions failed terminally (outcomes %v)\n",
+			r.Faults, r.Failed, r.Checker.Outcomes())
+		if err := r.Checker.Err(); err != nil {
+			return fmt.Errorf("task-state invariant violated: %w", err)
+		}
+	}
 	return nil
 }
 

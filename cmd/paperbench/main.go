@@ -17,6 +17,8 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/moldesign"
 	"repro/internal/report"
@@ -51,7 +53,12 @@ flags:
                    deep instrumentation and write a Perfetto-loadable
                    Chrome trace-event JSON file
   -metrics FILE    same instrumented rerun, exported as Prometheus
-                   text exposition`)
+                   text exposition
+  -chaos SPEC      run every experiment under seeded fault injection,
+                   e.g. -chaos seed=7,rate=0.5 (keys: seed, rate,
+                   pfail, kinds=worker+gpu+reconfig+endpoint+submit,
+                   after, until, max, reconnect); same seed gives a
+                   byte-identical run at any -parallel level`)
 	os.Exit(2)
 }
 
@@ -66,8 +73,18 @@ func main() {
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max independent scenarios run concurrently")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file from an instrumented rerun")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics from an instrumented rerun")
+	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *chaos != "" {
+		spec, err := fault.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: -chaos:", err)
+			os.Exit(2)
+		}
+		core.SetChaos(&spec)
+		fmt.Fprintf(os.Stderr, "paperbench: chaos enabled (%s)\n", spec.String())
 	}
 	harness.SetParallelism(*parallel)
 	w := os.Stdout

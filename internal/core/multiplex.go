@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/devent"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -65,6 +66,11 @@ type MultiplexConfig struct {
 	// Observe enables deep instrumentation (kernel spans, scheduler
 	// counters); the result then carries the collector for export.
 	Observe bool
+	// Chaos enables seeded fault injection for the run (nil falls
+	// back to the process-wide SetChaos spec). Under chaos the run
+	// tolerates terminally failed completions — counted in
+	// MultiplexResult.Failed — instead of aborting.
+	Chaos *fault.Spec
 }
 
 func (c MultiplexConfig) withDefaults() MultiplexConfig {
@@ -116,6 +122,14 @@ type MultiplexResult struct {
 	ContextSwitches int
 	// Obs is the run's collector (spans and metrics for export).
 	Obs *obs.Collector
+	// Failed counts completions whose futures failed terminally
+	// (always 0 without chaos: any failure aborts the run instead).
+	Failed int
+	// Faults is how many faults the injector fired (0 without chaos).
+	Faults int
+	// Checker carries the exactly-one-terminal-state invariant
+	// observations (nil without chaos).
+	Checker *fault.Checker
 }
 
 // MeanLatency returns the average per-inference latency (Fig. 5).
@@ -129,6 +143,7 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	pl, err := NewPlatform(Options{
 		DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()},
 		Observe:     c.Observe,
+		Chaos:       c.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -146,7 +161,10 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	}
 
 	getEngine := func(inv *faas.Invocation) (*llm.Engine, error) {
-		if e, ok := inv.State()["engine"].(*llm.Engine); ok && e.Loaded() {
+		// Resident (not just Loaded): a GPU context loss destroys the
+		// warm engine's shards, and the replacement worker context
+		// needs a fresh load.
+		if e, ok := inv.State()["engine"].(*llm.Engine); ok && e.Resident() {
 			return e, nil
 		}
 		ctx, err := inv.GPU()
@@ -221,18 +239,23 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 			return err
 		}
 
-		// Pre-warm: one load per worker.
+		// Pre-warm: one load per worker. Under chaos a failed preload
+		// is tolerated — that worker simply cold-loads on first use.
 		t0 := p.Now()
 		loads := make([]*devent.Event, c.Processes)
 		for i := range loads {
 			loads[i] = pl.DFK.Submit("llama-load").Event()
 		}
-		if _, err := p.Wait(devent.AllOf(pl.Env, loads...)); err != nil {
-			return err
+		for _, ld := range loads {
+			if _, err := p.Wait(ld); err != nil && pl.Injector == nil {
+				return err
+			}
 		}
 		res.PreloadTime = p.Now() - t0
 
-		// Measured phase: the 100 completions.
+		// Measured phase: the 100 completions. Under chaos a future
+		// that fails terminally (retries and deadline exhausted) is
+		// counted, not fatal.
 		start := p.Now()
 		futs := make([]*faas.Future, c.Completions)
 		for i := range futs {
@@ -241,13 +264,17 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 		for _, f := range futs {
 			v, err := f.Result(p)
 			if err != nil {
-				return err
+				if pl.Injector == nil {
+					return err
+				}
+				res.Failed++
+				continue
 			}
 			res.Latencies.Add(v.(time.Duration))
 		}
 		end := p.Now()
 		res.Makespan = end - start
-		res.Throughput = metrics.Throughput(c.Completions, res.Makespan)
+		res.Throughput = metrics.Throughput(c.Completions-res.Failed, res.Makespan)
 		res.Utilization = dev.Utilization(start, end)
 		return nil
 	})
@@ -256,5 +283,9 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	}
 	res.ContextSwitches = dev.ContextSwitches()
 	res.Obs = pl.Obs
+	if pl.Injector != nil {
+		res.Faults = pl.Injector.Injected()
+		res.Checker = pl.Checker
+	}
 	return res, nil
 }

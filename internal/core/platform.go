@@ -17,6 +17,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/faas/htex"
 	"repro/internal/faas/provider"
+	"repro/internal/fault"
 	"repro/internal/gpuctl"
 	"repro/internal/monitor"
 	"repro/internal/obs"
@@ -41,6 +42,16 @@ type Options struct {
 	// and per-kernel spans from the devices. Task and worker spans are
 	// always collected (the monitor is built on them).
 	Observe bool
+	// TaskTimeout is the per-task deadline passed to the DFK (0 = no
+	// deadlines, the seed behavior).
+	TaskTimeout time.Duration
+	// Chaos enables seeded fault injection for this platform; nil
+	// falls back to the process-wide spec set via SetChaos (usually
+	// also nil). A chaos platform gets recovery defaults: at least 4
+	// retries, jittered retry backoff, worker auto-restart with
+	// blacklisting, and the injector wired to every executor and
+	// device.
+	Chaos *fault.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -56,7 +67,26 @@ func (o Options) withDefaults() Options {
 	if o.WorkerInit == 0 {
 		o.WorkerInit = 2 * time.Second
 	}
+	if o.Chaos == nil {
+		o.Chaos = globalChaos
+	}
+	if o.Chaos != nil && o.Retries < 4 {
+		o.Retries = 4 // transient faults need headroom to retry through
+	}
 	return o
+}
+
+// chaosHTEX applies the recovery defaults every chaos-run executor
+// gets: crashed workers restart with exponential backoff and are
+// blacklisted after repeated crashes.
+func (o Options) chaosHTEX(cfg htex.Config) htex.Config {
+	if o.Chaos == nil {
+		return cfg
+	}
+	cfg.RestartBackoff = 500 * time.Millisecond
+	cfg.RestartBackoffMax = 5 * time.Second
+	cfg.BlacklistAfter = 5
+	return cfg
 }
 
 // Platform is an assembled testbed.
@@ -72,9 +102,14 @@ type Platform struct {
 	Monitor *monitor.DB
 	// Obs is the platform's collector: every span and metric from the
 	// DFK, executors, and (with Options.Observe) devices and scheduler.
-	Obs  *obs.Collector
-	opts Options
-	gpu  *htex.HTEX
+	Obs *obs.Collector
+	// Injector drives fault injection (nil when chaos is off).
+	Injector *fault.Injector
+	// Checker watches every task for the exactly-one-terminal-state
+	// invariant (nil when chaos is off).
+	Checker *fault.Checker
+	opts    Options
+	gpu     *htex.HTEX
 }
 
 // NewPlatform builds the testbed with a started CPU executor; the GPU
@@ -99,15 +134,27 @@ func NewPlatform(opts Options) (*Platform, error) {
 			d.SetCollector(collector)
 		}
 	}
-	cpu, err := htex.New(env, htex.Config{
+	cpu, err := htex.New(env, o.chaosHTEX(htex.Config{
 		Label:      "cpu",
 		MaxWorkers: o.CPUWorkers,
 		Provider:   provider.NewLocal(env, node),
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
-	dfk := faas.NewDFK(env, faas.Config{RunDir: "sim", Retries: o.Retries, Collector: collector}, cpu)
+	fcfg := faas.Config{
+		RunDir:    "sim",
+		Retries:   o.Retries,
+		Timeout:   o.TaskTimeout,
+		Collector: collector,
+	}
+	if o.Chaos != nil {
+		fcfg.RetryBackoff = 200 * time.Millisecond
+		fcfg.RetryBackoffMax = 5 * time.Second
+		fcfg.RetryJitter = 0.2
+		fcfg.Seed = o.Chaos.Seed
+	}
+	dfk := faas.NewDFK(env, fcfg, cpu)
 	pl := &Platform{
 		Env:     env,
 		Devices: devices,
@@ -127,6 +174,18 @@ func NewPlatform(opts Options) (*Platform, error) {
 		}
 	})
 	pl.Monitor.Attach(dfk)
+	if o.Chaos != nil {
+		inj := fault.New(env, *o.Chaos, collector)
+		inj.AttachPool(cpu)
+		for _, d := range devices {
+			inj.AttachDevice(d)
+		}
+		dfk.SetDispatchFault(func(*faas.Task) error { return inj.SubmitFault() })
+		ck := fault.NewChecker()
+		ck.Attach(dfk)
+		pl.Injector = inj
+		pl.Checker = ck
+	}
 	return pl, nil
 }
 
@@ -142,17 +201,20 @@ func (pl *Platform) ConfigureGPUExecutor(p *devent.Proc, accelerators []string, 
 	if pl.gpu != nil {
 		pl.gpu.ShutdownAndWait(p)
 	}
-	gpu, err := htex.New(pl.Env, htex.Config{
+	gpu, err := htex.New(pl.Env, pl.opts.chaosHTEX(htex.Config{
 		Label:                 "gpu",
 		AvailableAccelerators: accelerators,
 		GPUPercentages:        percentages,
 		WorkerInit:            pl.opts.WorkerInit,
 		Provider:              provider.NewLocal(pl.Env, pl.Node),
-	})
+	}))
 	if err != nil {
 		return err
 	}
 	pl.gpu = gpu
+	if pl.Injector != nil {
+		pl.Injector.AttachPool(gpu)
+	}
 	return pl.DFK.AddExecutor(gpu)
 }
 
@@ -183,15 +245,23 @@ func (pl *Platform) ConfigureMIG(p *devent.Proc, idx int, profiles []string) ([]
 // Register registers an app on the DFK.
 func (pl *Platform) Register(app faas.App) { pl.DFK.Register(app) }
 
-// Run starts the DFK, spawns main as the workflow proc, and drives
-// the simulation to completion.
+// Run starts the DFK (and, under chaos, the fault injector), spawns
+// main as the workflow proc, and drives the simulation to completion.
+// The injector stops when main returns, so the event queue drains and
+// the run terminates even with an unbounded fault schedule.
 func (pl *Platform) Run(main func(p *devent.Proc) error) error {
 	if err := pl.DFK.Start(); err != nil {
 		return err
 	}
+	if pl.Injector != nil {
+		pl.Injector.Start()
+	}
 	var mainErr error
 	pl.Env.Spawn("main", func(p *devent.Proc) {
 		mainErr = main(p)
+		if pl.Injector != nil {
+			pl.Injector.Stop()
+		}
 	})
 	if err := pl.Env.Run(); err != nil {
 		return err

@@ -22,6 +22,11 @@ import (
 // a function's requirements.
 var ErrNoEndpoint = errors.New("endpoint: no endpoint satisfies requirements")
 
+// ErrDisconnected is returned when a submission names an endpoint
+// whose WAN connection is down. Routed submissions never see it:
+// Route skips disconnected endpoints.
+var ErrDisconnected = errors.New("endpoint: endpoint disconnected")
+
 // Endpoint is one registered computing site.
 type Endpoint struct {
 	// Name is the registry key (endpoint UUID in Globus Compute).
@@ -34,8 +39,9 @@ type Endpoint struct {
 	// "site": "anl"}.
 	Tags map[string]string
 
-	outstanding int
-	completed   int
+	outstanding  int
+	completed    int
+	disconnected bool
 }
 
 // Outstanding reports tasks dispatched but not yet completed.
@@ -43,6 +49,9 @@ func (e *Endpoint) Outstanding() int { return e.outstanding }
 
 // Completed reports finished tasks.
 func (e *Endpoint) Completed() int { return e.completed }
+
+// Disconnected reports whether the endpoint's WAN link is down.
+func (e *Endpoint) Disconnected() bool { return e.disconnected }
 
 // Function is a cloud-registered function: a body, the executor label
 // it needs on the endpoint, and capability requirements for routing.
@@ -94,6 +103,32 @@ func (s *Service) Endpoints() []string {
 	return names
 }
 
+// Disconnect takes an endpoint's WAN link down: routing skips it and
+// named submissions fail with ErrDisconnected, while work already
+// dispatched to its DFK runs to completion (the endpoint buffers
+// results; the simulator delivers them when they are ready, modelling
+// a reconnect before the result path). Reports whether a connected
+// endpoint with that name existed.
+func (s *Service) Disconnect(name string) bool {
+	ep, ok := s.endpoints[name]
+	if !ok || ep.disconnected {
+		return false
+	}
+	ep.disconnected = true
+	return true
+}
+
+// Reconnect restores a disconnected endpoint's WAN link. Reports
+// whether a disconnected endpoint with that name existed.
+func (s *Service) Reconnect(name string) bool {
+	ep, ok := s.endpoints[name]
+	if !ok || !ep.disconnected {
+		return false
+	}
+	ep.disconnected = false
+	return true
+}
+
 // RegisterFunction records a function in the cloud registry and
 // registers its app on every endpoint DFK (Globus Compute ships the
 // serialized function to the endpoint at dispatch; registering
@@ -120,7 +155,7 @@ func (s *Service) Route(fnName string) (*Endpoint, error) {
 	var best *Endpoint
 	for _, name := range s.Endpoints() {
 		ep := s.endpoints[name]
-		if !satisfies(ep.Tags, fn.Requirements) {
+		if ep.disconnected || !satisfies(ep.Tags, fn.Requirements) {
 			continue
 		}
 		if best == nil || ep.outstanding < best.outstanding {
@@ -155,6 +190,8 @@ func (s *Service) Submit(endpointName, fnName string, args ...any) *devent.Event
 		ep, ok = s.endpoints[endpointName]
 		if !ok {
 			err = fmt.Errorf("endpoint: unknown endpoint %q", endpointName)
+		} else if ep.disconnected {
+			err = fmt.Errorf("%w: %q", ErrDisconnected, endpointName)
 		}
 	} else {
 		ep, err = s.Route(fnName)

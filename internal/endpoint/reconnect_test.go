@@ -1,0 +1,120 @@
+package endpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+)
+
+// A disconnected endpoint rejects named submissions with
+// ErrDisconnected, is skipped by routing, and serves again after
+// Reconnect.
+func TestDisconnectReconnect(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	a := site(t, env, "site-a", 10*time.Millisecond, false, nil)
+	b := site(t, env, "site-b", 10*time.Millisecond, false, nil)
+	for _, ep := range []*Endpoint{a, b} {
+		if err := svc.RegisterEndpoint(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.RegisterFunction(Function{Name: "who", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		return inv.WorkerName(), nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !svc.Disconnect("site-a") {
+		t.Fatal("Disconnect failed")
+	}
+	if svc.Disconnect("site-a") {
+		t.Fatal("double Disconnect reported success")
+	}
+	if !a.Disconnected() {
+		t.Fatal("endpoint not marked disconnected")
+	}
+
+	env.Spawn("main", func(p *devent.Proc) {
+		// Named submission to the downed endpoint fails fast.
+		if _, err := p.Wait(svc.Submit("site-a", "who")); !errors.Is(err, ErrDisconnected) {
+			t.Errorf("named submit err = %v, want ErrDisconnected", err)
+		}
+		// Routing skips it: every routed call lands on site-b.
+		for i := 0; i < 3; i++ {
+			v, err := p.Wait(svc.Submit("", "who"))
+			if err != nil {
+				t.Errorf("routed submit failed: %v", err)
+				return
+			}
+			if w := v.(string); w[:len("cpu/")] != "cpu/" {
+				t.Errorf("unexpected worker %q", w)
+			}
+		}
+		if b.Completed() != 3 || a.Completed() != 0 {
+			t.Errorf("completed a=%d b=%d", a.Completed(), b.Completed())
+		}
+		// Reconnect restores named submissions.
+		if !svc.Reconnect("site-a") {
+			t.Error("Reconnect failed")
+		}
+		if svc.Reconnect("site-a") {
+			t.Error("double Reconnect reported success")
+		}
+		if _, err := p.Wait(svc.Submit("site-a", "who")); err != nil {
+			t.Errorf("submit after reconnect failed: %v", err)
+		}
+		if a.Completed() != 1 {
+			t.Errorf("site-a completed = %d after reconnect", a.Completed())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Disconnecting every eligible endpoint makes routing fail with
+// ErrNoEndpoint; work dispatched before the disconnect still
+// completes.
+func TestDisconnectAllAndInflight(t *testing.T) {
+	env := devent.NewEnv()
+	svc := NewService(env)
+	ep := site(t, env, "solo", 10*time.Millisecond, false, nil)
+	if err := svc.RegisterEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterFunction(Function{Name: "slow", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(time.Second)
+		return "ok", nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", func(p *devent.Proc) {
+		inflight := svc.Submit("", "slow")
+		p.Sleep(100 * time.Millisecond) // dispatched, now running
+		svc.Disconnect("solo")
+		if _, err := p.Wait(svc.Submit("", "slow")); !errors.Is(err, ErrNoEndpoint) {
+			t.Errorf("routed submit err = %v, want ErrNoEndpoint", err)
+		}
+		if v, err := p.Wait(inflight); err != nil || v != "ok" {
+			t.Errorf("in-flight v=%v err=%v", v, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Completed() != 1 {
+		t.Fatalf("completed = %d", ep.Completed())
+	}
+}
+
+// Disconnect/Reconnect on unknown endpoints report false.
+func TestDisconnectUnknown(t *testing.T) {
+	svc := NewService(devent.NewEnv())
+	if svc.Disconnect("ghost") || svc.Reconnect("ghost") {
+		t.Fatal("ghost endpoint toggled")
+	}
+}

@@ -1,15 +1,19 @@
 package faas
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"repro/internal/devent"
 	"repro/internal/obs"
 )
 
 // DFK is the DataFlowKernel: it owns the app registry and executors,
-// resolves future-valued arguments, dispatches tasks, retries
-// failures, and emits task spans and metrics to its collector.
+// resolves future-valued arguments, dispatches tasks with deadline
+// enforcement, retries failures with exponential backoff, and emits
+// task spans and metrics to its collector.
 type DFK struct {
 	env       *devent.Env
 	cfg       Config
@@ -20,6 +24,12 @@ type DFK struct {
 	hooks     []func(TaskEvent)
 	nextID    int
 	started   bool
+	draining  bool
+	rng       *rand.Rand
+	// dispatchFault, when set, is consulted before every dispatch
+	// attempt; a non-nil error fails that attempt (retriable). Fault
+	// injectors use it to model transient submit failures.
+	dispatchFault func(*Task) error
 }
 
 // NewDFK creates a DataFlowKernel over the given executors. If the
@@ -28,12 +38,17 @@ func NewDFK(env *devent.Env, cfg Config, executors ...Executor) *DFK {
 	if cfg.Collector == nil {
 		cfg.Collector = obs.New(env)
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	d := &DFK{
 		env:       env,
 		cfg:       cfg,
 		obs:       cfg.Collector,
 		executors: make(map[string]Executor),
 		apps:      make(map[string]App),
+		rng:       rand.New(rand.NewSource(seed)),
 	}
 	for _, ex := range executors {
 		d.executors[ex.Label()] = ex
@@ -130,6 +145,27 @@ func (d *DFK) Start() error {
 	return nil
 }
 
+// SetDispatchFault installs (or, with nil, removes) a hook consulted
+// before every dispatch attempt; returning an error fails that attempt
+// as a transient submit failure, exercising the retry/backoff path.
+func (d *DFK) SetDispatchFault(fn func(*Task) error) { d.dispatchFault = fn }
+
+// Drain stops accepting new submissions — subsequent Submits fail fast
+// with ErrShutdown — while work already in flight runs to completion.
+// Executors that support draining are drained too.
+func (d *DFK) Drain() {
+	d.draining = true
+	for _, ex := range d.executors {
+		if dr, ok := ex.(Drainer); ok {
+			dr.Drain()
+		}
+	}
+}
+
+// Drainer is optionally implemented by executors that can stop
+// accepting new submissions without killing in-flight work.
+type Drainer interface{ Drain() }
+
 // Shutdown stops all executors.
 func (d *DFK) Shutdown() {
 	for _, ex := range d.executors {
@@ -144,7 +180,10 @@ func (d *DFK) Tasks() []*Task { return append([]*Task(nil), d.tasks...) }
 // Submit schedules an app invocation. Arguments that are *Future
 // values are awaited and replaced by their results before dispatch; if
 // any fails, the task fails with ErrDependency without dispatching.
-// Failed tasks are retried up to Config.Retries times.
+// Failed tasks are retried up to Config.Retries times, sleeping the
+// configured exponential backoff (with jitter) between attempts; a
+// task that exceeds Config.Timeout fails terminally with
+// ErrTaskTimeout regardless of retries left.
 func (d *DFK) Submit(appName string, args ...any) *Future {
 	d.nextID++
 	task := &Task{
@@ -162,6 +201,14 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 	done := d.env.NewNamedEvent(fmt.Sprintf("task-%d", task.ID))
 	fut := NewFuture(task, done)
 
+	if d.draining {
+		task.Status = TaskFailed
+		task.Err = fmt.Errorf("%w: DFK draining", ErrShutdown)
+		task.EndTime = d.env.Now()
+		d.finish(task)
+		done.Fail(task.Err)
+		return fut
+	}
 	app, ok := d.apps[appName]
 	if !ok {
 		task.Status = TaskFailed
@@ -193,7 +240,12 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 			done.Fail(task.Err)
 			return
 		}
+		deadline := time.Duration(-1)
+		if d.cfg.Timeout > 0 {
+			deadline = task.SubmitTime + d.cfg.Timeout
+		}
 		var result any
+		timedOut := false
 		for try := 0; ; try++ {
 			task.Tries = try + 1
 			task.Status = TaskLaunched
@@ -202,13 +254,32 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 			if try > 0 {
 				d.obs.Metrics().Counter("faas_task_retries_total", obs.L("app", task.App)).Inc()
 			}
-			result, err = func() (any, error) {
-				ev := ex.Submit(task, app, resolved)
-				return p.Wait(ev)
-			}()
+			result, err = d.attempt(p, ex, task, app, resolved, deadline)
+			if errors.Is(err, devent.ErrTimeout) {
+				timedOut = true
+				break
+			}
 			if err == nil || try >= d.cfg.Retries {
 				break
 			}
+			if delay := d.backoff(try + 1); delay > 0 {
+				if deadline >= 0 && d.env.Now()+delay >= deadline {
+					// Sleeping out the backoff would blow the deadline;
+					// fail now rather than waste a dispatch.
+					timedOut = true
+					break
+				}
+				p.Sleep(delay)
+			}
+		}
+		if timedOut {
+			task.Status = TaskTimedOut
+			task.Err = fmt.Errorf("%w: %v elapsed after %d tries", ErrTaskTimeout, d.cfg.Timeout, task.Tries)
+			task.EndTime = d.env.Now()
+			d.obs.Metrics().Counter("faas_tasks_timed_out_total", obs.L("app", task.App)).Inc()
+			d.finish(task)
+			done.Fail(task.Err)
+			return
 		}
 		if err != nil {
 			task.Status = TaskFailed
@@ -225,6 +296,50 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		done.Fire(result)
 	})
 	return fut
+}
+
+// attempt makes one dispatch attempt, enforcing the deadline (negative
+// = none). A deadline expiry surfaces as devent.ErrTimeout; the
+// executor-side completion, if it arrives later, finds no waiter and
+// the orphaned attempt is abandoned.
+func (d *DFK) attempt(p *devent.Proc, ex Executor, task *Task, app App, args []any, deadline time.Duration) (any, error) {
+	if d.dispatchFault != nil {
+		if err := d.dispatchFault(task); err != nil {
+			return nil, err
+		}
+	}
+	ev := ex.Submit(task, app, args)
+	if deadline < 0 {
+		return p.Wait(ev)
+	}
+	return p.WaitTimeout(ev, deadline-d.env.Now())
+}
+
+// backoff returns the delay before retry number attempt (1-based):
+// RetryBackoff doubled per attempt, capped at RetryBackoffMax, spread
+// by the seeded jitter factor. Draw order is the deterministic event
+// order of the simulation, so identical seeds give identical delays.
+func (d *DFK) backoff(attempt int) time.Duration {
+	base := d.cfg.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20 // past ~1M× the base the cap always applies
+	}
+	delay := base << uint(shift)
+	if max := d.cfg.RetryBackoffMax; max > 0 && delay > max {
+		delay = max
+	}
+	if j := d.cfg.RetryJitter; j > 0 {
+		u := d.rng.Float64()
+		delay = time.Duration(float64(delay) * (1 + j*(2*u-1)))
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	return delay
 }
 
 // resolveArgs waits for future-valued arguments and substitutes their

@@ -33,6 +33,11 @@ var ErrDependency = errors.New("faas: dependency failed")
 // ErrShutdown is returned for tasks aborted by executor shutdown.
 var ErrShutdown = errors.New("faas: executor shut down")
 
+// ErrTaskTimeout is returned for tasks that exceed Config.Timeout
+// between submission and completion; the deadline covers every retry,
+// so a timed-out task is terminal and never re-dispatched.
+var ErrTaskTimeout = errors.New("faas: task deadline exceeded")
+
 // AppFunc is the body of an app. It runs inside a worker and receives
 // the invocation context.
 type AppFunc func(inv *Invocation) (any, error)
@@ -57,6 +62,7 @@ const (
 	TaskRunning
 	TaskDone
 	TaskFailed
+	TaskTimedOut
 )
 
 // String implements fmt.Stringer.
@@ -72,8 +78,17 @@ func (s TaskStatus) String() string {
 		return "done"
 	case TaskFailed:
 		return "failed"
+	case TaskTimedOut:
+		return "timedout"
 	}
 	return "unknown"
+}
+
+// Terminal reports whether the status is final: a task reaches exactly
+// one of TaskDone, TaskFailed, or TaskTimedOut, exactly once — the
+// invariant the chaos suite asserts under fault injection.
+func (s TaskStatus) Terminal() bool {
+	return s == TaskDone || s == TaskFailed || s == TaskTimedOut
 }
 
 // Task is the record of one app invocation.
@@ -240,6 +255,22 @@ type Config struct {
 	// Retries is how many times a failed task is retried before its
 	// future fails (Parsl's retries=1 in Listing 1).
 	Retries int
+	// Timeout is the per-task deadline measured from submission across
+	// all retries; when it elapses the task fails terminally with
+	// ErrTaskTimeout. 0 disables deadlines.
+	Timeout time.Duration
+	// RetryBackoff is the delay before retry n: it doubles with each
+	// attempt (RetryBackoff << (n-1)) up to RetryBackoffMax. 0 keeps
+	// the seed behavior of immediate re-dispatch.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (0 = uncapped).
+	RetryBackoffMax time.Duration
+	// RetryJitter spreads backoff delays by a uniform factor in
+	// [1-RetryJitter, 1+RetryJitter], drawn from the DFK's seeded RNG
+	// so runs stay deterministic. 0 disables jitter.
+	RetryJitter float64
+	// Seed seeds the DFK's RNG (retry jitter); 0 means seed 1.
+	Seed int64
 	// Collector receives task spans and metrics. Leave nil to have
 	// NewDFK create one — the DFK always has a collector, so
 	// monitoring (which derives its records from span events) works

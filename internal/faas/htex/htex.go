@@ -45,6 +45,16 @@ type Config struct {
 	// (default 1).
 	Provider provider.Provider
 	Blocks   int
+	// RestartBackoff, when positive, restarts a crashed worker after an
+	// exponential delay (RestartBackoff doubled per crash of that slot,
+	// capped at RestartBackoffMax). 0 keeps the seed behavior: crashed
+	// workers stay dead.
+	RestartBackoff time.Duration
+	// RestartBackoffMax caps the restart backoff (0 = uncapped).
+	RestartBackoffMax time.Duration
+	// BlacklistAfter blacklists a worker slot after that many crashes:
+	// the slot is never restarted again. 0 disables blacklisting.
+	BlacklistAfter int
 }
 
 // Validate checks configuration consistency.
@@ -67,6 +77,19 @@ func (c Config) Validate() error {
 	if len(c.AvailableAccelerators) == 0 && c.MaxWorkers <= 0 {
 		return fmt.Errorf("htex: executor %q has no workers", c.Label)
 	}
+	if c.RestartBackoff < 0 {
+		return fmt.Errorf("htex: negative RestartBackoff %v", c.RestartBackoff)
+	}
+	if c.RestartBackoffMax < 0 {
+		return fmt.Errorf("htex: negative RestartBackoffMax %v", c.RestartBackoffMax)
+	}
+	if c.RestartBackoffMax > 0 && c.RestartBackoffMax < c.RestartBackoff {
+		return fmt.Errorf("htex: RestartBackoffMax %v below RestartBackoff %v",
+			c.RestartBackoffMax, c.RestartBackoff)
+	}
+	if c.BlacklistAfter < 0 {
+		return fmt.Errorf("htex: negative BlacklistAfter %d", c.BlacklistAfter)
+	}
 	return nil
 }
 
@@ -87,6 +110,11 @@ func (c Config) Bindings() []gpuctl.Binding {
 // ErrWorkerLost fails a task whose worker crashed mid-execution; the
 // DFK's retry policy re-dispatches it to a surviving worker.
 var ErrWorkerLost = errors.New("htex: worker lost")
+
+// ErrNoWorkers fails queued and new submissions when every worker has
+// crashed (or been blacklisted) and no restart is pending — without it
+// the queue would strand tasks forever.
+var ErrNoWorkers = errors.New("htex: no live workers")
 
 // submission is one queued task.
 type submission struct {
@@ -109,12 +137,22 @@ type HTEX struct {
 	started  bool
 	gen      int
 
-	obs       *obs.Collector
-	gWorkers  *obs.Gauge
-	cCold     *obs.Counter
-	cKilled   *obs.Counter
-	cRestarts *obs.Counter
-	cPicked   *obs.Counter
+	draining    bool
+	provisioned bool
+	// pendingRestarts counts crashed workers whose respawn timer is
+	// running; while it is non-zero the queue is not stranded.
+	pendingRestarts int
+	crashes         map[string]int
+	blacklisted     map[string]bool
+
+	obs        *obs.Collector
+	gWorkers   *obs.Gauge
+	gBlacklist *obs.Gauge
+	cCold      *obs.Counter
+	cKilled    *obs.Counter
+	cRestarts  *obs.Counter
+	cWRestarts *obs.Counter
+	cPicked    *obs.Counter
 }
 
 // New creates the executor; Validate errors surface here.
@@ -126,9 +164,11 @@ func New(env *devent.Env, cfg Config) (*HTEX, error) {
 		cfg.Blocks = 1
 	}
 	return &HTEX{
-		env:   env,
-		cfg:   cfg,
-		queue: devent.NewChan[*submission](env, 1<<20),
+		env:         env,
+		cfg:         cfg,
+		queue:       devent.NewChan[*submission](env, 1<<20),
+		crashes:     make(map[string]int),
+		blacklisted: make(map[string]bool),
 	}, nil
 }
 
@@ -146,9 +186,11 @@ func (h *HTEX) SetCollector(c *obs.Collector) {
 	m := c.Metrics()
 	l := obs.L("executor", h.cfg.Label)
 	h.gWorkers = m.Gauge("htex_workers_live", l)
+	h.gBlacklist = m.Gauge("htex_blacklist_size", l)
 	h.cCold = m.Counter("htex_cold_starts_total", l)
 	h.cKilled = m.Counter("htex_workers_killed_total", l)
 	h.cRestarts = m.Counter("htex_restarts_total", l)
+	h.cWRestarts = m.Counter("htex_worker_restarts_total", l)
 	h.cPicked = m.Counter("htex_tasks_picked_total", l)
 }
 
@@ -166,6 +208,13 @@ func (h *HTEX) Start() error {
 	h.shutdown = h.env.NewNamedEvent("htex-shutdown:" + h.cfg.Label)
 	h.gen++
 	gen := h.gen
+	// A fresh start (including a repartition Restart) wipes crash
+	// history: the new worker set gets a clean slate.
+	if len(h.blacklisted) > 0 {
+		h.gBlacklist.Set(0)
+	}
+	h.crashes = make(map[string]int)
+	h.blacklisted = make(map[string]bool)
 	h.env.Spawn("htex-start:"+h.cfg.Label, func(p *devent.Proc) {
 		v, err := p.Wait(h.cfg.Provider.Provision(h.cfg.Blocks))
 		if err != nil {
@@ -201,6 +250,7 @@ func (h *HTEX) Start() error {
 				h.procs = append(h.procs, wp)
 			}
 		}
+		h.provisioned = true
 	})
 	return nil
 }
@@ -236,7 +286,7 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		sub, ok, cancelled := h.queue.RecvOr(p, devent.AnyOf(h.env, h.shutdown, w.kill))
 		if cancelled || !ok {
 			if w.kill.Fired() {
-				h.removeWorker(w)
+				h.workerCrashed(w)
 			}
 			return
 		}
@@ -274,13 +324,12 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 			// task so the DFK can retry elsewhere.
 			t.EndTime = p.Now()
 			h.obs.EndSpan(rspan, obs.String("status", "lost"))
-			h.cKilled.Inc()
 			cleanup()
 			if !taskDone.Fired() {
 				taskDone.Fail(ErrWorkerLost)
 			}
 			sub.done.Fail(fmt.Errorf("%w: %s", ErrWorkerLost, w.name))
-			h.removeWorker(w)
+			h.workerCrashed(w)
 			return
 		}
 		t.EndTime = p.Now()
@@ -328,12 +377,103 @@ func (h *HTEX) removeWorker(w *worker) {
 	}
 }
 
+// workerCrashed is the single exit path for killed workers (idle or
+// mid-task): it counts the crash against the worker's slot, blacklists
+// the slot after BlacklistAfter crashes, schedules an exponential-
+// backoff restart when enabled, and otherwise checks the queue for
+// stranding.
+func (h *HTEX) workerCrashed(w *worker) {
+	h.removeWorker(w)
+	h.cKilled.Inc()
+	if !h.started {
+		return
+	}
+	h.crashes[w.name]++
+	n := h.crashes[w.name]
+	if b := h.cfg.BlacklistAfter; b > 0 && n >= b {
+		if !h.blacklisted[w.name] {
+			h.blacklisted[w.name] = true
+			h.gBlacklist.Add(1)
+		}
+		h.failIfStranded()
+		return
+	}
+	if h.cfg.RestartBackoff <= 0 {
+		h.failIfStranded()
+		return
+	}
+	shift := n - 1
+	if shift > 20 {
+		shift = 20
+	}
+	delay := h.cfg.RestartBackoff << uint(shift)
+	if max := h.cfg.RestartBackoffMax; max > 0 && delay > max {
+		delay = max
+	}
+	h.pendingRestarts++
+	gen := h.gen
+	h.env.Schedule(delay, func() {
+		h.pendingRestarts--
+		if h.gen != gen || !h.started || h.blacklisted[w.name] {
+			h.failIfStranded()
+			return
+		}
+		h.respawn(w)
+	})
+}
+
+// respawn replaces a crashed worker: same slot name, node, and
+// accelerator binding, but fresh warm state — the restarted process
+// re-pays every cold-start component, exactly as a real pilot-job
+// restart would.
+func (h *HTEX) respawn(old *worker) {
+	w := &worker{
+		name:    old.name,
+		node:    old.node,
+		binding: old.binding,
+		env:     old.env,
+		state:   make(map[string]any),
+	}
+	h.workers = append(h.workers, w)
+	h.cWRestarts.Inc()
+	wp := h.env.Spawn(w.name, func(p *devent.Proc) {
+		h.workerLoop(p, w)
+	})
+	wp.SetDaemon(true)
+	h.procs = append(h.procs, wp)
+}
+
+// failIfStranded drains the queue with ErrNoWorkers when no worker is
+// alive and none is coming back — queued submissions would otherwise
+// never complete, violating the exactly-one-terminal-state invariant.
+func (h *HTEX) failIfStranded() {
+	if !h.started || !h.provisioned || len(h.workers) > 0 || h.pendingRestarts > 0 {
+		return
+	}
+	for {
+		sub, ok := h.queue.TryRecv()
+		if !ok {
+			return
+		}
+		h.obs.EndSpan(sub.qspan, obs.String("status", "no-workers"))
+		sub.done.Fail(fmt.Errorf("%w: executor %q", ErrNoWorkers, h.cfg.Label))
+	}
+}
+
 // Submit implements faas.Executor.
 func (h *HTEX) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
 	done := h.env.NewNamedEvent(fmt.Sprintf("htex-%s-task-%d", h.cfg.Label, task.ID))
 	sub := &submission{task: task, app: app, args: args, done: done}
 	if !h.started {
 		done.Fail(faas.ErrShutdown)
+		return done
+	}
+	if h.draining {
+		done.Fail(fmt.Errorf("%w: executor %q draining", faas.ErrShutdown, h.cfg.Label))
+		return done
+	}
+	if h.provisioned && len(h.workers) == 0 && h.pendingRestarts == 0 {
+		done.Fail(fmt.Errorf("%w: executor %q", ErrNoWorkers, h.cfg.Label))
 		return done
 	}
 	// The queue span shares the task's track, nesting under its root
@@ -347,6 +487,12 @@ func (h *HTEX) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
 	return done
 }
 
+// Drain stops accepting new submissions — they fail fast with an
+// ErrShutdown-wrapped error — while queued and running tasks finish
+// normally. Part of graceful shutdown: drain, wait for in-flight work,
+// then Shutdown.
+func (h *HTEX) Drain() { h.draining = true }
+
 // Shutdown implements faas.Executor: running tasks finish, idle
 // workers exit and destroy their GPU contexts, queued submissions
 // fail with ErrShutdown.
@@ -355,6 +501,8 @@ func (h *HTEX) Shutdown() {
 		return
 	}
 	h.started = false
+	h.draining = false
+	h.provisioned = false
 	h.shutdown.Fire(nil)
 	for {
 		sub, ok := h.queue.TryRecv()

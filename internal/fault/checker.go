@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faas"
+)
+
+// Checker asserts the chaos suite's core invariant: every submitted
+// task reaches exactly one terminal state (done, failed, or timed
+// out) exactly once — no task is lost, none completes twice. Attach
+// it to a DFK before submitting work and call Err after the run.
+type Checker struct {
+	order      []int
+	terminal   map[int]int
+	last       map[int]faas.TaskStatus
+	violations []string
+}
+
+// NewChecker creates an empty checker.
+func NewChecker() *Checker {
+	return &Checker{terminal: make(map[int]int), last: make(map[int]faas.TaskStatus)}
+}
+
+// Attach subscribes the checker to a DFK's task events.
+func (c *Checker) Attach(d *faas.DFK) { d.OnTaskEvent(c.Hook()) }
+
+// Hook returns the task-event callback (for executors or DFKs that
+// take raw hooks).
+func (c *Checker) Hook() func(faas.TaskEvent) {
+	return func(ev faas.TaskEvent) {
+		id := ev.Task.ID
+		if _, seen := c.last[id]; !seen {
+			c.order = append(c.order, id)
+		}
+		c.last[id] = ev.Status
+		if ev.Status.Terminal() {
+			c.terminal[id]++
+			if n := c.terminal[id]; n > 1 {
+				c.violations = append(c.violations,
+					fmt.Sprintf("task %d reached a terminal state %d times (now %v)", id, n, ev.Status))
+			}
+		}
+	}
+}
+
+// Seen reports how many distinct tasks the checker observed.
+func (c *Checker) Seen() int { return len(c.order) }
+
+// Terminal reports how many tasks reached a terminal state.
+func (c *Checker) Terminal() int {
+	n := 0
+	for _, k := range c.terminal {
+		if k > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Outcomes tallies final statuses by name ("done", "failed",
+// "timedout", and — for the invariant violation case — whatever
+// non-terminal status a lost task was stranded in).
+func (c *Checker) Outcomes() map[string]int {
+	out := make(map[string]int)
+	for _, id := range c.order {
+		out[c.last[id].String()]++
+	}
+	return out
+}
+
+// Err returns nil when the invariant held: every observed task
+// terminal exactly once. Otherwise it describes every violation,
+// lost tasks first in submission order.
+func (c *Checker) Err() error {
+	var msgs []string
+	for _, id := range c.order {
+		if c.terminal[id] == 0 {
+			msgs = append(msgs, fmt.Sprintf("task %d never reached a terminal state (last %v)", id, c.last[id]))
+		}
+	}
+	msgs = append(msgs, c.violations...)
+	if len(msgs) == 0 {
+		return nil
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("fault: invariant violated:\n  %s", joinLines(msgs))
+}
+
+func joinLines(msgs []string) string {
+	s := msgs[0]
+	for _, m := range msgs[1:] {
+		s += "\n  " + m
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+)
+
+// failNthExecutor fails the first n submissions, then succeeds.
+type failNthExecutor struct {
+	env   *devent.Env
+	n     int
+	calls int
+}
+
+func (e *failNthExecutor) Label() string { return "x" }
+func (e *failNthExecutor) Start() error  { return nil }
+func (e *failNthExecutor) Shutdown()     {}
+func (e *failNthExecutor) Workers() int  { return 1 }
+func (e *failNthExecutor) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
+	e.calls++
+	call := e.calls
+	ev := e.env.NewNamedEvent("x")
+	e.env.Schedule(time.Millisecond, func() {
+		if call <= e.n {
+			ev.Fail(ErrInjected)
+		} else {
+			ev.Fire("ok")
+		}
+	})
+	return ev
+}
+
+// The checker passes a clean run — including tasks that fail or time
+// out, as long as each terminates exactly once — and reports correct
+// tallies.
+func TestCheckerCleanRun(t *testing.T) {
+	env := devent.NewEnv()
+	ex := &failNthExecutor{env: env, n: 1}
+	d := faas.NewDFK(env, faas.Config{Retries: 2, Timeout: time.Hour}, ex)
+	d.Register(faas.App{Name: "fn", Executor: "x"})
+	ck := NewChecker()
+	ck.Attach(d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", func(p *devent.Proc) {
+		futs := []*faas.Future{d.Submit("fn"), d.Submit("fn"), d.Submit("fn")}
+		for _, f := range futs {
+			f.Result(p)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if ck.Seen() != 3 || ck.Terminal() != 3 {
+		t.Fatalf("seen=%d terminal=%d", ck.Seen(), ck.Terminal())
+	}
+	if got := ck.Outcomes(); got["done"] != 3 {
+		t.Fatalf("outcomes = %v", got)
+	}
+}
+
+// A task that never terminates (a stranded future) is reported as
+// lost.
+func TestCheckerCatchesLostTask(t *testing.T) {
+	ck := NewChecker()
+	hook := ck.Hook()
+	task := &faas.Task{ID: 1, App: "fn", Status: faas.TaskLaunched}
+	hook(faas.TaskEvent{Task: task, Status: faas.TaskPending})
+	hook(faas.TaskEvent{Task: task, Status: faas.TaskLaunched})
+	err := ck.Err()
+	if err == nil || !strings.Contains(err.Error(), "task 1 never reached a terminal state") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// A double terminal transition (a double-completed future) is
+// reported.
+func TestCheckerCatchesDoubleTerminal(t *testing.T) {
+	ck := NewChecker()
+	hook := ck.Hook()
+	task := &faas.Task{ID: 2, App: "fn"}
+	hook(faas.TaskEvent{Task: task, Status: faas.TaskDone})
+	hook(faas.TaskEvent{Task: task, Status: faas.TaskFailed})
+	err := ck.Err()
+	if err == nil || !strings.Contains(err.Error(), "terminal state 2 times") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -153,6 +153,23 @@ func (e *Engine) Config() Config { return e.cfg }
 // Loaded reports whether weights are resident.
 func (e *Engine) Loaded() bool { return e.loaded }
 
+// Resident reports whether the engine is loaded AND every weight
+// shard still lives on a healthy context. A GPU context loss (ECC
+// error) destroys shards out from under a warm engine; callers
+// keeping engines in worker state should treat a non-resident engine
+// as cold and reload it.
+func (e *Engine) Resident() bool {
+	if !e.loaded {
+		return false
+	}
+	for _, s := range e.shards {
+		if s.Destroyed() {
+			return false
+		}
+	}
+	return true
+}
+
 // LoadTime reports how long the last Load took.
 func (e *Engine) LoadTime() time.Duration { return e.loadTime }
 

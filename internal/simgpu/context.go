@@ -13,6 +13,14 @@ import (
 // ErrDestroyed is returned for operations on a destroyed context.
 var ErrDestroyed = errors.New("simgpu: context destroyed")
 
+// ErrContextLost is the failure delivered when a context is torn down
+// by an injected hardware fault (uncorrectable ECC error, Xid-style
+// channel loss): the CUDA analogue of CUDA_ERROR_ECC_UNCORRECTABLE,
+// after which every operation on the context fails and the client
+// process must recreate it. It is retriable at the task level — a
+// fresh context on the same or another worker can redo the work.
+var ErrContextLost = errors.New("simgpu: context lost (uncorrectable ECC error)")
+
 // ContextOpts configures a GPU context (one per client process).
 type ContextOpts struct {
 	// Name labels the context in traces; empty gets a generated name.
@@ -192,12 +200,26 @@ func (c *Context) Destroyed() bool { return c.destroyed }
 // ErrAborted), frees owned memory, and releases shared attachments.
 // This is the simulator's analogue of killing the client process —
 // required by MPS to change a GPU percentage (paper §6).
-func (c *Context) Destroy() {
+func (c *Context) Destroy() { c.destroyWith(ErrAborted) }
+
+// Fault destroys the context as a hardware fault would: queued and
+// running kernels fail with err (ErrContextLost when err is nil)
+// instead of the orderly ErrAborted, memory is freed, and the context
+// leaves scheduling. Subsequent Launch/Alloc calls fail with
+// ErrDestroyed, so the owning worker must open a fresh context.
+func (c *Context) Fault(err error) {
+	if err == nil {
+		err = ErrContextLost
+	}
+	c.destroyWith(err)
+}
+
+func (c *Context) destroyWith(err error) {
 	if c.destroyed {
 		return
 	}
 	c.destroyed = true
-	c.dom.abortContext(c)
+	c.dom.abortContext(c, err)
 	for _, seg := range c.owned {
 		seg.Release()
 	}

@@ -166,6 +166,51 @@ func (d *Device) newContextOn(p *devent.Proc, dom *domain, mem *MemPool, opts Co
 // Contexts returns the number of live contexts on the root domain.
 func (d *Device) Contexts() int { return len(d.root.ctxs) }
 
+// ContextNames lists every live context on the device — root domain
+// first, then MIG instances in creation order — in creation order
+// within each domain. The listing is deterministic, so a seeded fault
+// injector picking a victim by index always picks the same one.
+func (d *Device) ContextNames() []string {
+	var names []string
+	for _, c := range d.root.ctxs {
+		names = append(names, c.name)
+	}
+	for _, in := range d.instances {
+		for _, c := range in.dom.ctxs {
+			names = append(names, c.name)
+		}
+	}
+	return names
+}
+
+// InjectContextLoss destroys the named context as an uncorrectable
+// ECC error would: its queued and running kernels fail with
+// ErrContextLost and its memory is freed. It reports whether a live
+// context with that name existed.
+func (d *Device) InjectContextLoss(name string) bool {
+	if c := d.findContext(name); c != nil {
+		c.Fault(ErrContextLost)
+		return true
+	}
+	return false
+}
+
+func (d *Device) findContext(name string) *Context {
+	for _, c := range d.root.ctxs {
+		if c.name == name {
+			return c
+		}
+	}
+	for _, in := range d.instances {
+		for _, c := range in.dom.ctxs {
+			if c.name == name {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
 // BusySeries returns the whole-device busy-SM step series (root
 // domain; in MIG mode use per-instance series).
 func (d *Device) BusySeries() *metrics.StepSeries { return d.root.busySeries() }

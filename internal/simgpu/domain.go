@@ -400,9 +400,10 @@ func (d *domain) complete(l *launched) {
 	d.reevaluate()
 }
 
-// abortContext fails every queued or running kernel of c and removes
-// the context from scheduling.
-func (d *domain) abortContext(c *Context) {
+// abortContext fails every queued or running kernel of c with err and
+// removes the context from scheduling. Destroy passes ErrAborted;
+// injected hardware faults pass ErrContextLost.
+func (d *domain) abortContext(c *Context, err error) {
 	now := d.env.Now()
 	for _, l := range c.queue {
 		if l.fin {
@@ -432,7 +433,7 @@ func (d *domain) abortContext(c *Context) {
 				Enqueue: l.enqueue, Start: l.start, End: now, Aborted: true,
 			})
 		}
-		l.done.Fail(ErrAborted)
+		l.done.Fail(err)
 	}
 	c.queue = nil
 	d.gQueue.Set(float64(d.depth))

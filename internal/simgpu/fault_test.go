@@ -1,0 +1,117 @@
+package simgpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+)
+
+// An injected context loss fails in-flight kernels with ErrContextLost
+// (not the orderly ErrAborted), frees the context's memory, and leaves
+// the device usable for a fresh context.
+func TestInjectContextLoss(t *testing.T) {
+	env := devent.NewEnv()
+	dev, err := NewDevice(env, "gpu0", A100SXM480GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kerr error
+	env.Spawn("victim", func(p *devent.Proc) {
+		ctx, err := dev.NewContext(p, ContextOpts{Name: "victim", SkipInit: true})
+		if err != nil {
+			env.Fail(err)
+			return
+		}
+		if _, err := ctx.Alloc("weights", GB); err != nil {
+			env.Fail(err)
+			return
+		}
+		ev := ctx.Launch(Kernel{Name: "long", FLOPs: 1e15})
+		env.Schedule(time.Millisecond, func() {
+			if !dev.InjectContextLoss("victim") {
+				t.Error("InjectContextLoss found no context")
+			}
+		})
+		_, kerr = p.Wait(ev)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(kerr, ErrContextLost) {
+		t.Fatalf("kernel error = %v, want ErrContextLost", kerr)
+	}
+	if got := dev.Contexts(); got != 0 {
+		t.Fatalf("contexts after loss = %d", got)
+	}
+	if used := dev.Mem().Used(); used != 0 {
+		t.Fatalf("memory still allocated after loss: %d", used)
+	}
+	if dev.InjectContextLoss("victim") {
+		t.Fatal("second injection reported a live context")
+	}
+}
+
+// ContextNames covers root and MIG-instance contexts deterministically.
+func TestContextNamesAcrossDomains(t *testing.T) {
+	env := devent.NewEnv()
+	dev, err := NewDevice(env, "gpu0", A100SXM480GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("setup", func(p *devent.Proc) {
+		if err := dev.EnableMIG(p); err != nil {
+			env.Fail(err)
+			return
+		}
+		ins, err := dev.ConfigureMIG(p, []string{"3g.40gb", "1g.10gb"})
+		if err != nil {
+			env.Fail(err)
+			return
+		}
+		for i, in := range ins {
+			if _, err := in.NewContext(p, ContextOpts{SkipInit: true}); err != nil {
+				env.Fail(err)
+				return
+			}
+			_ = i
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	names := dev.ContextNames()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	// Fault one instance context; the other instance is untouched.
+	if !dev.InjectContextLoss(names[0]) {
+		t.Fatal("inject failed")
+	}
+	if got := dev.ContextNames(); len(got) != 1 || got[0] != names[1] {
+		t.Fatalf("after loss names = %v", got)
+	}
+}
+
+// Destroy keeps its orderly ErrAborted semantics after the refactor.
+func TestDestroyStillAborts(t *testing.T) {
+	env := devent.NewEnv()
+	dev, err := NewDevice(env, "gpu0", A100SXM480GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kerr error
+	env.Spawn("p", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, ContextOpts{SkipInit: true})
+		ev := ctx.Launch(Kernel{Name: "k", FLOPs: 1e15})
+		env.Schedule(time.Millisecond, ctx.Destroy)
+		_, kerr = p.Wait(ev)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(kerr, ErrAborted) {
+		t.Fatalf("kernel error = %v, want ErrAborted", kerr)
+	}
+}
