@@ -27,11 +27,13 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz passes over the chaos-spec parser and executor config
-# validator (the checked-in corpora run as regular tests in `make test`).
+# Short fuzz passes over the chaos-spec parser, the executor config
+# validator, and the repartitioning-spec parser (the checked-in corpora
+# run as regular tests in `make test`).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s ./internal/faas/htex
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/repart
 
 bench: bench-devent bench-paper
 

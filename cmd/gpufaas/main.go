@@ -7,6 +7,7 @@
 //	gpufaas multiplex -mode mps -procs 4 -completions 100
 //	gpufaas moldesign -rounds 4 -batch 16
 //	gpufaas sweep -percents 5,10,20,50,100
+//	gpufaas repart -spec policy=knee,interval=10s
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/moldesign"
 	"repro/internal/obs"
+	"repro/internal/repart"
 	"repro/internal/report"
 	"repro/internal/rightsize"
 	"repro/internal/simgpu"
@@ -40,6 +42,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "pack":
 		err = runPack(os.Args[2:])
+	case "repart":
+		err = runRepart(os.Args[2:])
 	default:
 		usage()
 	}
@@ -50,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|repart> [flags]`)
 	os.Exit(2)
 }
 
@@ -180,6 +184,64 @@ func runSweep(args []string) error {
 		percents = append(percents, v)
 	}
 	return report.Fig2(os.Stdout, percents)
+}
+
+// runRepart runs the phase-shifted two-tenant scenario once, under a
+// static plan (-static) or under the online repartitioning controller
+// (-repart SPEC, or the controller defaults when both flags are unset).
+func runRepart(args []string) error {
+	fs := flag.NewFlagSet("repart", flag.ExitOnError)
+	specArg := fs.String("spec", "", "controller spec, e.g. policy=knee,interval=10s,delta=5")
+	static := fs.String("static", "", "run a static baseline instead: timeshare | mps-default | mps | mig | vgpu")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
+	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specArg != "" && *static != "" {
+		return fmt.Errorf("-spec and -static are mutually exclusive")
+	}
+	cfg := core.PhaseShiftConfig{Observe: *traceOut != "" || *metricsOut != ""}
+	if *static != "" {
+		cfg.Mode = core.Mode(*static)
+	} else {
+		spec, err := repart.ParseSpec(*specArg)
+		if err != nil {
+			return fmt.Errorf("-spec: %w", err)
+		}
+		cfg.Repart = &spec
+	}
+	r, err := core.RunPhaseShift(cfg)
+	if err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		if err := writeArtifact(*traceOut, func(w *os.File) error {
+			return obs.WriteChromeTrace(w, r.Obs)
+		}); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeArtifact(*metricsOut, func(w *os.File) error {
+			return obs.WritePrometheus(w, r.Obs)
+		}); err != nil {
+			return err
+		}
+	}
+	plan := "static " + string(r.Mode)
+	if r.Repart {
+		plan = "online controller"
+	}
+	fmt.Printf("plan=%s\n", plan)
+	fmt.Printf("  preload (cold start, excluded): %.2fs\n", r.PreloadTime.Seconds())
+	fmt.Printf("  makespan:      %.2fs\n", r.Makespan.Seconds())
+	fmt.Printf("  latency mean:  %.2fs  p50 %.2fs  p95 %.2fs  max %.2fs\n",
+		r.Latencies.Mean().Seconds(), r.Latencies.Percentile(50).Seconds(),
+		r.Latencies.Percentile(95).Seconds(), r.Latencies.Max().Seconds())
+	fmt.Printf("  transitions:   %d\n", r.Transitions)
+	fmt.Printf("  weight cache:  %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+	return nil
 }
 
 // runPack plans a partitioning for a set of tenant demands:

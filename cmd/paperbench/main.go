@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/moldesign"
+	"repro/internal/repart"
 	"repro/internal/report"
 )
 
@@ -41,7 +42,10 @@ artifacts:
              batching vs multiplexing, vGPU quantum)
   mixed      real-time ResNet next to a LLaMa service
   openloop   Poisson-arrival serving: stability per technique
-  all        everything, in paper order
+  repart     phase-shifted tenants: online repartitioning controller
+             vs every static Table 1 plan
+  all        everything, in paper order (repart excluded: run it
+             explicitly)
 
 flags:
   -completions N   completions for fig4/fig5/all (default 100)
@@ -58,7 +62,12 @@ flags:
                    e.g. -chaos seed=7,rate=0.5 (keys: seed, rate,
                    pfail, kinds=worker+gpu+reconfig+endpoint+submit,
                    after, until, max, reconnect); same seed gives a
-                   byte-identical run at any -parallel level`)
+                   byte-identical run at any -parallel level
+  -repart SPEC     controller spec for the repart artifact, e.g.
+                   -repart policy=knee,interval=10s,delta=5 (keys:
+                   policy, mode, interval, tolerance, cooldown, delta,
+                   min, workers); unset keys take defaults, other
+                   artifacts are unaffected`)
 	os.Exit(2)
 }
 
@@ -74,8 +83,19 @@ func main() {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file from an instrumented rerun")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics from an instrumented rerun")
 	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
+	repartFlag := fs.String("repart", "", "repartitioning-controller spec, e.g. policy=knee,interval=10s")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	var repartSpec repart.Spec
+	if *repartFlag != "" {
+		spec, err := repart.ParseSpec(*repartFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: -repart:", err)
+			os.Exit(2)
+		}
+		repartSpec = spec
+		core.SetRepart(&spec)
 	}
 	if *chaos != "" {
 		spec, err := fault.ParseSpec(*chaos)
@@ -112,6 +132,8 @@ func main() {
 		err = report.MixedTenancy(w)
 	case "openloop":
 		err = report.OpenLoop(w)
+	case "repart":
+		err = report.Repart(w, repartSpec)
 	case "all":
 		err = report.All(w, *completions)
 	default:

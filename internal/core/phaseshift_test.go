@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/repart"
+)
+
+// TestPhaseShiftStatic smoke-checks the scenario under a static plan.
+func TestPhaseShiftStatic(t *testing.T) {
+	res, err := RunPhaseShift(PhaseShiftConfig{Mode: ModeMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Latencies.N() == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Transitions != 0 {
+		t.Fatalf("static run transitioned %d times", res.Transitions)
+	}
+	t.Logf("static mps: makespan=%v mean=%v n=%d", res.Makespan, res.Latencies.Mean(), res.Latencies.N())
+}
+
+// TestPhaseShiftRepartMIG drives the controller down the MIG
+// transition path: whole-device drains, ConfigureMIG relayouts, and
+// weight re-load (MIG reconfiguration resets the device, so cached
+// engines are evicted rather than re-attached).
+func TestPhaseShiftRepartMIG(t *testing.T) {
+	res, err := RunPhaseShift(PhaseShiftConfig{Repart: &repart.Spec{Mode: repart.ModeMIG}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions == 0 {
+		t.Fatal("MIG controller never transitioned")
+	}
+	if res.Latencies.N() == 0 {
+		t.Fatal("no completions recorded")
+	}
+	// Every relayout resets the device: each transition costs weight
+	// reloads, so misses must reflect at least the initial loads.
+	if res.CacheMisses < 2 {
+		t.Fatalf("expected >=2 cache misses across MIG relayouts, got %d", res.CacheMisses)
+	}
+	t.Logf("repart mig: makespan=%v transitions=%d hits=%d misses=%d",
+		res.Makespan, res.Transitions, res.CacheHits, res.CacheMisses)
+}
+
+// TestPhaseShiftRepartBeatsStatic is the tentpole acceptance check:
+// under the phase-shifted workload the online controller must finish
+// sooner than every static Table 1 plan.
+func TestPhaseShiftRepartBeatsStatic(t *testing.T) {
+	ctl, err := RunPhaseShift(PhaseShiftConfig{Repart: &repart.Spec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Transitions == 0 {
+		t.Fatal("controller never transitioned")
+	}
+	t.Logf("repart: makespan=%v transitions=%d hits=%d misses=%d",
+		ctl.Makespan, ctl.Transitions, ctl.CacheHits, ctl.CacheMisses)
+	for _, mode := range Table1Modes {
+		res, err := RunPhaseShift(PhaseShiftConfig{Mode: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		t.Logf("static %s: makespan=%v", mode, res.Makespan)
+		if ctl.Makespan >= res.Makespan {
+			t.Errorf("controller (%v) did not beat static %s (%v)", ctl.Makespan, mode, res.Makespan)
+		}
+	}
+}

@@ -35,6 +35,13 @@ type Options struct {
 	CPUWorkers int
 	// Retries is the DFK retry count (default 1, as in Listing 1).
 	Retries int
+	// RetryBackoff and RetryBackoffMax, when positive, space retry
+	// attempts exponentially — required when tasks must ride through a
+	// repartitioning restart window instead of burning every retry at
+	// the same instant. Zero keeps the seed behavior (immediate
+	// retries; chaos platforms still get their own defaults).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// WorkerInit is the function-initialization cold-start component
 	// (default 2 s).
 	WorkerInit time.Duration
@@ -147,6 +154,10 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Retries:   o.Retries,
 		Timeout:   o.TaskTimeout,
 		Collector: collector,
+	}
+	if o.RetryBackoff > 0 {
+		fcfg.RetryBackoff = o.RetryBackoff
+		fcfg.RetryBackoffMax = o.RetryBackoffMax
 	}
 	if o.Chaos != nil {
 		fcfg.RetryBackoff = 200 * time.Millisecond

@@ -1,0 +1,35 @@
+package repart
+
+import "testing"
+
+// FuzzParseSpec checks the -repart flag parser never panics, only
+// accepts specs that validate, and is idempotent through String():
+// parse → render → parse must converge.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("policy=knee,interval=10s")
+	f.Add("policy=fair,mode=mig,interval=30s,tolerance=0.1,cooldown=20s,delta=5,min=8,workers=3")
+	f.Add("mode=mps")
+	f.Add("tolerance=1e309")
+	f.Add("tolerance=NaN")
+	f.Add("interval==,,=")
+	f.Add("cooldown=-5s")
+	f.Add("delta=101")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted invalid spec %+v: %v", s, spec, verr)
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) → String() = %q does not reparse: %v", s, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("String() not a fixed point: %q → %q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package repart closes the loop the paper leaves open in §6/§7: an
+// online repartitioning controller for the simulated FaaS platform.
+// The paper observes that changing an MPS percentage or MIG layout
+// requires killing and restarting every client process, and proposes
+// weight caching precisely so such reconfiguration becomes cheap; this
+// package combines the pieces the repo already has — per-tenant
+// latency and backlog from the obs metrics registry, right-sizing via
+// rightsize.Recommend/PackMPS/PackMIG, the htex restart/recovery path,
+// and the weightcache — into a deterministic control loop on the
+// virtual clock.
+//
+// Every input the controller reads (counters, histogram sums, the
+// virtual clock) is a pure function of the simulation's event order,
+// so a controlled run is reproducible byte-for-byte at any host
+// parallelism, exactly like the chaos injector.
+package repart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Policy names a repartitioning decision rule.
+type Policy string
+
+const (
+	// PolicyKnee right-sizes each tenant to the knee of its observed
+	// latency-vs-SMs curve (probing downward to find it online) and
+	// scales worker processes to the tenant's backlog.
+	PolicyKnee Policy = "knee"
+	// PolicyFair splits the device evenly across every tenant worker,
+	// scaling only worker counts with backlog.
+	PolicyFair Policy = "fair"
+)
+
+// Partitioning mechanisms the controller can drive.
+const (
+	// ModeMPS repartitions by restarting tenant executors with new
+	// GPU percentages (the paper's §6 MPS path).
+	ModeMPS = "mps"
+	// ModeMIG repartitions by draining every tenant and installing a
+	// new MIG instance layout via ConfigureMIG.
+	ModeMIG = "mig"
+)
+
+// Spec configures a controller, parsed from the -repart flag. The
+// zero Spec means "knee policy over MPS at the default cadence";
+// withDefaults fills the operational values.
+type Spec struct {
+	// Policy is the decision rule (default knee).
+	Policy Policy
+	// Mode is the partitioning mechanism (default mps).
+	Mode string
+	// Interval is the control period on the virtual clock (default
+	// 10s); each tick reads the registry deltas since the previous
+	// tick.
+	Interval time.Duration
+	// Tolerance is the knee tolerance: latency within (1+Tolerance)
+	// of the best observed counts as saturated (default 0.05).
+	Tolerance float64
+	// Cooldown suppresses transitions within this duration of the
+	// previous one (default 0: every tick may act).
+	Cooldown time.Duration
+	// DeltaPct is the hysteresis band: per-worker percentage moves
+	// smaller than this do not trigger a restart (default 3).
+	DeltaPct int
+	// MinSMs floors the per-worker demand the knee probe may explore
+	// down to (default 4).
+	MinSMs int
+	// MaxWorkers caps the worker processes per tenant (default 4).
+	MaxWorkers int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Policy == "" {
+		s.Policy = PolicyKnee
+	}
+	if s.Mode == "" {
+		s.Mode = ModeMPS
+	}
+	if s.Interval <= 0 {
+		s.Interval = 10 * time.Second
+	}
+	if s.Tolerance <= 0 {
+		s.Tolerance = 0.05
+	}
+	if s.DeltaPct <= 0 {
+		s.DeltaPct = 3
+	}
+	if s.MinSMs <= 0 {
+		s.MinSMs = 4
+	}
+	if s.MaxWorkers <= 0 {
+		s.MaxWorkers = 4
+	}
+	return s
+}
+
+// Validate checks the spec's ranges.
+func (s Spec) Validate() error {
+	switch s.Policy {
+	case "", PolicyKnee, PolicyFair:
+	default:
+		return fmt.Errorf("repart: unknown policy %q", s.Policy)
+	}
+	switch s.Mode {
+	case "", ModeMPS, ModeMIG:
+	default:
+		return fmt.Errorf("repart: unknown mode %q", s.Mode)
+	}
+	if s.Interval < 0 || s.Cooldown < 0 {
+		return errors.New("repart: negative time bound")
+	}
+	if math.IsNaN(s.Tolerance) || math.IsInf(s.Tolerance, 0) || s.Tolerance < 0 {
+		return fmt.Errorf("repart: tolerance %v out of range", s.Tolerance)
+	}
+	if s.DeltaPct < 0 || s.DeltaPct > 100 {
+		return fmt.Errorf("repart: delta %d outside [0,100]", s.DeltaPct)
+	}
+	if s.MinSMs < 0 {
+		return fmt.Errorf("repart: negative min %d", s.MinSMs)
+	}
+	if s.MaxWorkers < 0 {
+		return fmt.Errorf("repart: negative workers %d", s.MaxWorkers)
+	}
+	return nil
+}
+
+// String renders the spec in the canonical -repart flag syntax;
+// ParseSpec(s.String()) reproduces s.
+func (s Spec) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if s.Policy != "" {
+		add("policy", string(s.Policy))
+	}
+	if s.Mode != "" {
+		add("mode", s.Mode)
+	}
+	if s.Interval != 0 {
+		add("interval", s.Interval.String())
+	}
+	if s.Tolerance != 0 {
+		add("tolerance", strconv.FormatFloat(s.Tolerance, 'g', -1, 64))
+	}
+	if s.Cooldown != 0 {
+		add("cooldown", s.Cooldown.String())
+	}
+	if s.DeltaPct != 0 {
+		add("delta", strconv.Itoa(s.DeltaPct))
+	}
+	if s.MinSMs != 0 {
+		add("min", strconv.Itoa(s.MinSMs))
+	}
+	if s.MaxWorkers != 0 {
+		add("workers", strconv.Itoa(s.MaxWorkers))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -repart flag syntax: comma-separated key=value
+// pairs, e.g. "policy=knee,interval=10s,delta=5". Keys: policy, mode,
+// interval, tolerance, cooldown, delta, min, workers. An empty string
+// yields the zero Spec (controller defaults).
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("repart: malformed pair %q (want key=value)", pair)
+		}
+		var err error
+		switch key {
+		case "policy":
+			spec.Policy = Policy(val)
+		case "mode":
+			spec.Mode = val
+		case "interval":
+			spec.Interval, err = time.ParseDuration(val)
+		case "tolerance":
+			spec.Tolerance, err = strconv.ParseFloat(val, 64)
+		case "cooldown":
+			spec.Cooldown, err = time.ParseDuration(val)
+		case "delta":
+			spec.DeltaPct, err = strconv.Atoi(val)
+		case "min":
+			spec.MinSMs, err = strconv.Atoi(val)
+		case "workers":
+			spec.MaxWorkers, err = strconv.Atoi(val)
+		default:
+			return Spec{}, fmt.Errorf("repart: unknown key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("repart: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,136 @@
+package repart
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/obs"
+	"repro/internal/simgpu"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("policy=fair,mode=mig,interval=5s,tolerance=0.1,cooldown=30s,delta=7,min=8,workers=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Policy:     PolicyFair,
+		Mode:       ModeMIG,
+		Interval:   5 * time.Second,
+		Tolerance:  0.1,
+		Cooldown:   30 * time.Second,
+		DeltaPct:   7,
+		MinSMs:     8,
+		MaxWorkers: 2,
+	}
+	if spec != want {
+		t.Fatalf("got %+v, want %+v", spec, want)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "   "} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if spec != (Spec{}) {
+			t.Fatalf("%q: got %+v, want zero spec", s, spec)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"policy",              // no =
+		"policy=",             // empty value
+		"bogus=1",             // unknown key
+		"interval=fast",       // bad duration
+		"tolerance=lots",      // bad float
+		"delta=many",          // bad int
+		"policy=magic",        // unknown policy
+		"mode=sriov",          // unknown mode
+		"interval=-1s",        // negative duration
+		"tolerance=-0.5",      // negative tolerance
+		"tolerance=NaN",       // NaN
+		"delta=101",           // above 100
+		"delta=-1",            // negative
+		"min=-4",              // negative
+		"workers=-2",          // negative
+		"policy=knee,,min=4",  // empty pair
+		"interval=10s,policy", // trailing malformed pair
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+// TestSpecStringRoundTrip checks the documented contract:
+// ParseSpec(s.String()) == s for any valid spec.
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Policy: PolicyKnee},
+		{Mode: ModeMIG, Interval: time.Minute},
+		{Policy: PolicyFair, Mode: ModeMPS, Interval: 10 * time.Second, Tolerance: 0.05,
+			Cooldown: 20 * time.Second, DeltaPct: 3, MinSMs: 4, MaxWorkers: 4},
+	}
+	for _, want := range specs {
+		got, err := ParseSpec(want.String())
+		if err != nil {
+			t.Errorf("round-trip %+v: %v", want, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round-trip %q: got %+v, want %+v", want.String(), got, want)
+		}
+	}
+}
+
+func TestSpecStringZero(t *testing.T) {
+	if s := (Spec{}).String(); s != "" {
+		t.Fatalf("zero spec renders %q", s)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	d := (Spec{}).withDefaults()
+	if d.Policy != PolicyKnee || d.Mode != ModeMPS || d.Interval != 10*time.Second {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if d.Tolerance != 0.05 || d.DeltaPct != 3 || d.MinSMs != 4 || d.MaxWorkers != 4 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if d.Cooldown != 0 {
+		t.Fatalf("cooldown default should stay 0, got %v", d.Cooldown)
+	}
+	// Explicit values survive.
+	s := Spec{Policy: PolicyFair, Interval: time.Second, MaxWorkers: 1}.withDefaults()
+	if s.Policy != PolicyFair || s.Interval != time.Second || s.MaxWorkers != 1 {
+		t.Fatalf("explicit values clobbered: %+v", s)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted empty config")
+	}
+	// A structurally complete config still fails spec validation.
+	env := devent.NewEnv()
+	col := obs.New(env)
+	dev, err := simgpu.NewDevice(env, "gpu0", simgpu.A100SXM480GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Env: env, Obs: col, Device: dev,
+		Tenants: []Tenant{{Name: "a", App: "svc-a"}},
+		Spec:    Spec{Policy: "magic"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("New with bad policy: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/repart"
+)
+
+// TestRepartParallelMatchesSequential locks in the controller's
+// determinism contract: the repart comparison report — six independent
+// simulations including the online-controlled one — must render
+// byte-identically at any harness parallelism. Every controller input
+// (counters, histogram sums, the virtual clock) is a pure function of
+// each Env's event order, so host scheduling cannot leak into the
+// decisions or the table.
+func TestRepartParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario grid in -short mode")
+	}
+	spec, err := repart.ParseSpec("policy=knee,interval=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		prev := harness.SetParallelism(workers)
+		defer harness.SetParallelism(prev)
+		var b bytes.Buffer
+		if err := Repart(&b, spec); err != nil {
+			t.Fatalf("Repart with %d workers: %v", workers, err)
+		}
+		return b.Bytes()
+	}
+	seq := render(1)
+	if len(seq) == 0 {
+		t.Fatal("sequential report is empty")
+	}
+	par := render(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel output differs from sequential (%d vs %d bytes):\n%s",
+			len(par), len(seq), firstDiff(seq, par))
+	}
+}

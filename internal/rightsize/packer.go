@@ -14,6 +14,11 @@ import (
 // on one device.
 var ErrUnpackable = errors.New("rightsize: demands do not fit the device")
 
+// ErrDuplicateTenant is returned when two demands carry the same
+// tenant name: plans are keyed by name, so duplicates would silently
+// shadow each other.
+var ErrDuplicateTenant = errors.New("rightsize: duplicate tenant name")
+
 // TenantDemand is one workload's right-sized requirement (typically
 // from Recommend): SMs at the latency knee plus memory footprint.
 type TenantDemand struct {
@@ -38,26 +43,72 @@ type MPSPlan struct {
 	Oversubscribed bool
 }
 
-// PackMPS assigns each tenant the smallest percentage granting its SM
-// demand. Memory is checked against the single shared pool (MPS has
-// no isolation, but capacity is still physical).
+// PackMPS apportions GPU percentages across tenants by SM demand.
+// The percentage budget is the smallest total granting the aggregate
+// demand — ceil(100·ΣSMs/deviceSMs) — apportioned by the largest-
+// remainder method (ties broken by input order), so per-tenant
+// rounding cannot inflate TotalPercent into a false Oversubscribed
+// flag. Each tenant is then raised, if needed, to the minimal
+// percentage whose SM grant covers its own demand (every percentage
+// grants ceil(pct·SMs/100) SMs, so the floor of a fractional quota can
+// fall one SM short). Memory is checked against the single shared pool
+// (MPS has no isolation, but capacity is still physical).
 func PackMPS(spec simgpu.DeviceSpec, demands []TenantDemand) (*MPSPlan, error) {
 	var mem int64
-	plan := &MPSPlan{}
+	totalSMs := 0
+	seen := make(map[string]bool, len(demands))
 	for _, d := range demands {
 		if d.SMs <= 0 || d.SMs > spec.SMs {
 			return nil, fmt.Errorf("%w: tenant %q wants %d SMs of %d", ErrUnpackable, d.Name, d.SMs, spec.SMs)
 		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateTenant, d.Name)
+		}
+		seen[d.Name] = true
 		mem += d.MemBytes
-		pct := int(math.Ceil(float64(d.SMs) / float64(spec.SMs) * 100))
-		plan.Assignments = append(plan.Assignments, MPSAssignment{Tenant: d.Name, Percent: pct})
-		plan.TotalPercent += pct
+		totalSMs += d.SMs
 	}
 	if mem > spec.MemBytes {
 		return nil, fmt.Errorf("%w: memory %d exceeds %d", ErrUnpackable, mem, spec.MemBytes)
 	}
+	// Largest-remainder apportionment of the aggregate budget.
+	budget := int(math.Ceil(float64(totalSMs) / float64(spec.SMs) * 100))
+	pcts := make([]int, len(demands))
+	fracs := make([]float64, len(demands))
+	rest := budget
+	for i, d := range demands {
+		quota := float64(d.SMs) / float64(spec.SMs) * 100
+		pcts[i] = int(math.Floor(quota))
+		fracs[i] = quota - float64(pcts[i])
+		rest -= pcts[i]
+	}
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
+	for k := 0; k < rest && k < len(order); k++ {
+		pcts[order[k]]++
+	}
+	plan := &MPSPlan{}
+	for i, d := range demands {
+		if min := minGrantingPercent(spec.SMs, d.SMs); pcts[i] < min {
+			pcts[i] = min
+		}
+		plan.Assignments = append(plan.Assignments, MPSAssignment{Tenant: d.Name, Percent: pcts[i]})
+		plan.TotalPercent += pcts[i]
+	}
 	plan.Oversubscribed = plan.TotalPercent > 100
 	return plan, nil
+}
+
+// minGrantingPercent is the smallest percentage whose SM grant
+// (ceil(pct·deviceSMs/100)) covers sms.
+func minGrantingPercent(deviceSMs, sms int) int {
+	if sms >= deviceSMs {
+		return 100
+	}
+	return (sms-1)*100/deviceSMs + 1
 }
 
 // MIGAssignment is one tenant's MIG profile.

@@ -312,6 +312,65 @@ func TestConfigureMIGBusyAndRollback(t *testing.T) {
 	run(t, env)
 }
 
+// TestMIGReconfigureUnderLoad exercises the online-repartitioning drain
+// protocol at the device layer: while a kernel is actively executing on
+// an instance, ConfigureMIG and DestroyInstance must refuse with
+// ErrBusy and leave the layout intact, and the in-flight kernel must
+// complete unperturbed. Once the tenant drains, the same
+// reconfiguration succeeds.
+func TestMIGReconfigureUnderLoad(t *testing.T) {
+	env := devent.NewEnv()
+	dev := migDevice(t, env)
+	env.Spawn("admin", func(p *devent.Proc) {
+		dev.EnableMIG(p)
+		in, err := dev.CreateInstance("3g.40gb")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var ctx *Context
+		var elapsed time.Duration
+		tenant := env.Spawn("tenant", func(q *devent.Proc) {
+			ctx, err = in.NewContext(q, ContextOpts{SkipInit: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			start := q.Now()
+			k := Kernel{FLOPs: dev.Spec().PerSMFLOPS() * 42} // 1 s on the 3g instance's 42 SMs
+			rec, err := ctx.Run(q, k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			elapsed = rec.End - start
+		})
+		p.Sleep(500 * time.Millisecond) // mid-kernel
+		if _, err := dev.ConfigureMIG(p, []string{"2g.20gb", "2g.20gb"}); !errors.Is(err, ErrBusy) {
+			t.Errorf("ConfigureMIG mid-kernel: %v", err)
+		}
+		if err := dev.DestroyInstance(in); !errors.Is(err, ErrBusy) {
+			t.Errorf("DestroyInstance mid-kernel: %v", err)
+		}
+		if len(dev.Instances()) != 1 || dev.Instances()[0] != in {
+			t.Error("layout perturbed by rejected reconfiguration")
+		}
+		p.Wait(tenant.Done())
+		// The rejected admin calls must not have slowed the kernel.
+		near(t, elapsed, time.Second)
+		ctx.Destroy()
+		ins, err := dev.ConfigureMIG(p, []string{"2g.20gb", "2g.20gb"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(ins) != 2 || len(dev.Instances()) != 2 {
+			t.Errorf("layout = %d instances", len(dev.Instances()))
+		}
+	})
+	run(t, env)
+}
+
 func TestInstanceByUUID(t *testing.T) {
 	env := devent.NewEnv()
 	dev := migDevice(t, env)

@@ -23,6 +23,12 @@ import (
 // entry.
 var ErrMismatch = errors.New("weightcache: shard count mismatch")
 
+// ErrSizeMismatch is returned when a hit's config wants a different
+// weight footprint than the cached segments hold — a key collision
+// (two models sharing one cache key) that would otherwise silently
+// attach wrong-sized weights.
+var ErrSizeMismatch = errors.New("weightcache: cached weight size mismatch")
+
 // entry is one cached model: a pinned shared segment per shard pool.
 type entry struct {
 	segs  []*simgpu.Segment
@@ -80,6 +86,14 @@ func (c *Cache) AttachOrLoad(p *devent.Proc, key string, cfg llm.Config, shards 
 		if len(e.segs) != len(shards) {
 			return nil, false, fmt.Errorf("%w: cached %d shards, want %d", ErrMismatch, len(e.segs), len(shards))
 		}
+		var cached int64
+		for _, s := range e.segs {
+			cached += s.Size()
+		}
+		if cached != cfg.WeightBytes() {
+			return nil, false, fmt.Errorf("%w: key %q holds %d bytes, config wants %d",
+				ErrSizeMismatch, key, cached, cfg.WeightBytes())
+		}
 		eng := llm.New(cfg)
 		if err := eng.AttachCached(p, shards, e.segs); err != nil {
 			return nil, false, err
@@ -92,11 +106,17 @@ func (c *Cache) AttachOrLoad(p *devent.Proc, key string, cfg llm.Config, shards 
 	if n == 0 {
 		return nil, false, errors.New("weightcache: no shards")
 	}
+	// Even split with the last shard taking the division remainder, so
+	// the cached segments sum exactly to cfg.WeightBytes().
 	per := cfg.WeightBytes() / n
 	e := &entry{}
 	for i, ctx := range shards {
+		size := per
+		if int64(i) == n-1 {
+			size = cfg.WeightBytes() - per*(n-1)
+		}
 		pool := ctx.Pool()
-		seg, err := pool.AllocShared(fmt.Sprintf("wcache/%s/%d", key, i), per)
+		seg, err := pool.AllocShared(fmt.Sprintf("wcache/%s/%d", key, i), size)
 		if err != nil {
 			c.release(e)
 			return nil, false, err
@@ -105,7 +125,7 @@ func (c *Cache) AttachOrLoad(p *devent.Proc, key string, cfg llm.Config, shards 
 		seg.Release() // cache holds via the pin, not a reference
 		e.segs = append(e.segs, seg)
 		e.pools = append(e.pools, pool)
-		ctx.Transfer(p, per, hostLoadBW)
+		ctx.Transfer(p, size, hostLoadBW)
 	}
 	eng := llm.New(cfg)
 	if err := eng.AttachCached(p, shards, e.segs); err != nil {

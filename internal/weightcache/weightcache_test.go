@@ -153,6 +153,69 @@ func TestShardMismatch(t *testing.T) {
 	}
 }
 
+// The shard-sizing regression: a weight footprint that does not divide
+// evenly must still cache every byte (the last shard takes the
+// remainder), not silently drop WeightBytes() mod n bytes.
+func TestShardSizesSumToWeightBytes(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	cfg.WeightBytesOverride = 10*simgpu.GB + 1 // indivisible by 3
+	env.Spawn("svc", func(p *devent.Proc) {
+		var shards []*simgpu.Context
+		for i := 0; i < 3; i++ {
+			ctx, err := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			shards = append(shards, ctx)
+		}
+		if _, _, err := cache.AttachOrLoad(p, "7b", cfg, shards, dev.Spec().HostLoadBW); err != nil {
+			t.Error(err)
+			return
+		}
+		if cache.Bytes() != cfg.WeightBytes() {
+			t.Errorf("cached %d bytes, want %d", cache.Bytes(), cfg.WeightBytes())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hit-path regression: attaching under a cached key with a config
+// whose weight footprint disagrees with the cached segments is a key
+// collision and must be rejected, not served wrong-sized weights.
+func TestHitRejectsWeightSizeCollision(t *testing.T) {
+	env := devent.NewEnv()
+	dev := newDev(t, env)
+	cache := New()
+	cfg := llm.LLaMa27B()
+	env.Spawn("svc", func(p *devent.Proc) {
+		ctx, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		if _, _, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx}, dev.Spec().HostLoadBW); err != nil {
+			t.Error(err)
+			return
+		}
+		other := cfg
+		other.WeightBytesOverride = cfg.WeightBytes() / 2
+		ctx2, _ := dev.NewContext(p, simgpu.ContextOpts{SkipInit: true})
+		_, _, err := cache.AttachOrLoad(p, "7b", other, []*simgpu.Context{ctx2}, dev.Spec().HostLoadBW)
+		if !errors.Is(err, ErrSizeMismatch) {
+			t.Errorf("err = %v", err)
+		}
+		// The matching config still attaches fine.
+		if _, hit, err := cache.AttachOrLoad(p, "7b", cfg, []*simgpu.Context{ctx2}, dev.Spec().HostLoadBW); err != nil || !hit {
+			t.Errorf("hit=%v err=%v", hit, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestOOMRollsBack(t *testing.T) {
 	env := devent.NewEnv()
 	dev := newDev(t, env)
