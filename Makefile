@@ -1,22 +1,33 @@
 # Developer entry points. `make check` is the tier-1 gate (build, vet,
-# test); `make race` reruns the tests under the race detector — the
-# parallel harness and the chaos suite must stay race-clean — and runs
-# as its own CI job. `make cover` prints per-package statement
-# coverage. `make bench` regenerates the kernel and paper benchmark
-# records as `go test -json` event streams (BENCH_devent.json,
-# BENCH_paper.json), which benchstat and x/perf tooling both consume.
+# staticcheck when installed, test); `make race` reruns the tests under
+# the race detector — the parallel harness and the chaos suite must
+# stay race-clean — and runs as its own CI job. `make cover` prints
+# per-package statement coverage. `make bench` regenerates the kernel
+# and paper benchmark records as `go test -json` event streams
+# (BENCH_devent.json, BENCH_paper.json), which benchstat and x/perf
+# tooling both consume. `make attrib` smoke-tests the latency
+# attribution pipeline end to end on the Table 1 bursts.
 
 GO ?= go
 
-.PHONY: check build vet test race cover fuzz bench bench-devent bench-paper clean
+.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper attrib clean
 
-check: build vet test
+check: build vet staticcheck test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (no network installs in the dev
+# container) but mandatory in CI, which installs it on the runner.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -43,5 +54,13 @@ bench-devent:
 bench-paper:
 	$(GO) test -json -run '^$$' -bench=. -benchtime=1x . > BENCH_paper.json
 
+# End-to-end smoke test of the attribution pipeline: run the Table 1
+# bursts instrumented, render the folded-stack artifact, and print the
+# hottest stacks.
+attrib:
+	$(GO) run ./cmd/paperbench table1 -completions 8 -attrib ATTRIB_table1.json -flame FLAME_table1.folded > /dev/null
+	@echo "wrote ATTRIB_table1.json and FLAME_table1.folded; hottest stacks:"
+	@sort -t' ' -k2 -rn FLAME_table1.folded | head -5
+
 clean:
-	rm -f BENCH_devent.json BENCH_paper.json
+	rm -f BENCH_devent.json BENCH_paper.json ATTRIB_table1.json FLAME_table1.folded

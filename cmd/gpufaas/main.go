@@ -8,6 +8,7 @@
 //	gpufaas moldesign -rounds 4 -batch 16
 //	gpufaas sweep -percents 5,10,20,50,100
 //	gpufaas repart -spec policy=knee,interval=10s
+//	gpufaas tracediff -a a.json -b b.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/moldesign"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/repart"
 	"repro/internal/report"
 	"repro/internal/rightsize"
@@ -44,6 +46,8 @@ func main() {
 		err = runPack(os.Args[2:])
 	case "repart":
 		err = runRepart(os.Args[2:])
+	case "tracediff":
+		err = runTraceDiff(os.Args[2:])
 	default:
 		usage()
 	}
@@ -54,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|repart> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|repart|tracediff> [flags]`)
 	os.Exit(2)
 }
 
@@ -71,6 +75,114 @@ func writeArtifact(path string, fn func(*os.File) error) error {
 	return f.Close()
 }
 
+// attribFlags holds the per-run attribution/SLO flags shared by the
+// multiplex and repart subcommands.
+type attribFlags struct {
+	attrib, flame, slo, alerts *string
+}
+
+func addAttribFlags(fs *flag.FlagSet) attribFlags {
+	return attribFlags{
+		attrib: fs.String("attrib", "", "write the latency-attribution JSON for this run"),
+		flame:  fs.String("flame", "", "write folded flamegraph stacks for this run"),
+		slo:    fs.String("slo", "", "SLO burn-rate rules app:latency:target[:window], comma-separated"),
+		alerts: fs.String("alerts", "", "write the SLO alert stream for this run (requires -slo)"),
+	}
+}
+
+// validate checks flag consistency and reports whether the run needs
+// deep instrumentation for attribution.
+func (a attribFlags) validate() (observe bool, err error) {
+	if *a.alerts != "" && *a.slo == "" {
+		return false, fmt.Errorf("-alerts requires -slo")
+	}
+	if *a.slo != "" {
+		if _, err := analyze.ParseSLOSpec(*a.slo); err != nil {
+			return false, fmt.Errorf("-slo: %w", err)
+		}
+	}
+	return *a.attrib != "" || *a.flame != "" || *a.alerts != "", nil
+}
+
+// write exports the requested attribution artifacts from one run's
+// collector.
+func (a attribFlags) write(c *obs.Collector) error {
+	if *a.attrib == "" && *a.flame == "" && *a.alerts == "" {
+		return nil
+	}
+	rep := analyze.Analyze(c)
+	if *a.attrib != "" {
+		if err := writeArtifact(*a.attrib, func(w *os.File) error {
+			return rep.WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if *a.flame != "" {
+		if err := writeArtifact(*a.flame, func(w *os.File) error {
+			return analyze.WriteFolded(w, rep)
+		}); err != nil {
+			return err
+		}
+	}
+	if *a.alerts != "" {
+		if err := writeArtifact(*a.alerts, func(w *os.File) error {
+			return analyze.WriteAlerts(w, c)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTraceDiff compares two attribution JSON artifacts written with
+// -attrib and prints the per-phase delta table.
+func runTraceDiff(args []string) error {
+	fs := flag.NewFlagSet("tracediff", flag.ExitOnError)
+	aPath := fs.String("a", "", "baseline attribution JSON")
+	bPath := fs.String("b", "", "comparison attribution JSON")
+	outPath := fs.String("o", "", "also write the machine-readable diff JSON here")
+	labelA := fs.String("label-a", "", "label for run A (default: the -a path)")
+	labelB := fs.String("label-b", "", "label for run B (default: the -b path)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("tracediff needs -a and -b attribution JSON files")
+	}
+	if *labelA == "" {
+		*labelA = *aPath
+	}
+	if *labelB == "" {
+		*labelB = *bPath
+	}
+	read := func(path string) (*analyze.Report, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return analyze.ReadReport(f)
+	}
+	a, err := read(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := read(*bPath)
+	if err != nil {
+		return err
+	}
+	d := analyze.Diff(a, b, *labelA, *labelB)
+	if *outPath != "" {
+		if err := writeArtifact(*outPath, func(w *os.File) error {
+			return d.WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+	}
+	return d.WriteText(os.Stdout)
+}
+
 func runMultiplex(args []string) error {
 	fs := flag.NewFlagSet("multiplex", flag.ExitOnError)
 	mode := fs.String("mode", "mps", "timeshare | mps-default | mps | mig | vgpu")
@@ -80,7 +192,12 @@ func runMultiplex(args []string) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
 	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
+	attrib := addAttribFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	attribObserve, err := attrib.validate()
+	if err != nil {
 		return err
 	}
 	cfg := core.MultiplexConfig{
@@ -88,7 +205,8 @@ func runMultiplex(args []string) error {
 		Processes:    *procs,
 		Completions:  *completions,
 		OutputTokens: *tokens,
-		Observe:      *traceOut != "" || *metricsOut != "",
+		Observe:      *traceOut != "" || *metricsOut != "" || attribObserve,
+		SLO:          *attrib.slo,
 	}
 	if *chaos != "" {
 		spec, err := fault.ParseSpec(*chaos)
@@ -112,6 +230,12 @@ func runMultiplex(args []string) error {
 		if err := writeArtifact(*metricsOut, func(w *os.File) error {
 			return obs.WritePrometheus(w, r.Obs)
 		}); err != nil {
+			return err
+		}
+	}
+	if attribObserve {
+		r.Obs.SetScope(fmt.Sprintf("multiplex/%s/p%d", r.Mode, r.Processes))
+		if err := attrib.write(r.Obs); err != nil {
 			return err
 		}
 	}
@@ -195,13 +319,21 @@ func runRepart(args []string) error {
 	static := fs.String("static", "", "run a static baseline instead: timeshare | mps-default | mps | mig | vgpu")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
+	attrib := addAttribFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *specArg != "" && *static != "" {
 		return fmt.Errorf("-spec and -static are mutually exclusive")
 	}
-	cfg := core.PhaseShiftConfig{Observe: *traceOut != "" || *metricsOut != ""}
+	attribObserve, err := attrib.validate()
+	if err != nil {
+		return err
+	}
+	cfg := core.PhaseShiftConfig{
+		Observe: *traceOut != "" || *metricsOut != "" || attribObserve,
+		SLO:     *attrib.slo,
+	}
 	if *static != "" {
 		cfg.Mode = core.Mode(*static)
 	} else {
@@ -226,6 +358,16 @@ func runRepart(args []string) error {
 		if err := writeArtifact(*metricsOut, func(w *os.File) error {
 			return obs.WritePrometheus(w, r.Obs)
 		}); err != nil {
+			return err
+		}
+	}
+	if attribObserve {
+		scope := "repart/static-" + string(r.Mode)
+		if r.Repart {
+			scope = "repart/controller"
+		}
+		r.Obs.SetScope(scope)
+		if err := attrib.write(r.Obs); err != nil {
 			return err
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/moldesign"
+	"repro/internal/obs/analyze"
 	"repro/internal/repart"
 	"repro/internal/report"
 )
@@ -44,8 +45,15 @@ artifacts:
   openloop   Poisson-arrival serving: stability per technique
   repart     phase-shifted tenants: online repartitioning controller
              vs every static Table 1 plan
-  all        everything, in paper order (repart excluded: run it
-             explicitly)
+  attrib     latency attribution: per-phase blame profiles for the
+             Table 1 bursts plus the timeshare-vs-MPS trace diff
+  all        everything, in paper order (repart and attrib excluded:
+             run them explicitly)
+
+modes:
+  tracediff  compare two attribution JSON artifacts (written with
+             -attrib): paperbench tracediff -a A.json -b B.json
+             [-o out.json] [-label-a NAME] [-label-b NAME]
 
 flags:
   -completions N   completions for fig4/fig5/all (default 100)
@@ -67,7 +75,16 @@ flags:
                    -repart policy=knee,interval=10s,delta=5 (keys:
                    policy, mode, interval, tolerance, cooldown, delta,
                    min, workers); unset keys take defaults, other
-                   artifacts are unaffected`)
+                   artifacts are unaffected
+  -attrib FILE     rerun the instrumented grid and write the latency
+                   attribution report (per-task phase breakdowns +
+                   blame profiles) as JSON — the tracediff input
+  -flame FILE      same rerun, exported as folded flamegraph stacks
+                   (flamegraph.pl / speedscope)
+  -slo SPEC        attach the SLO burn-rate monitor to instrumented
+                   reruns: comma-separated app:latency:target[:window]
+                   rules, e.g. -slo llama-complete:12s:0.9
+  -alerts FILE     write the SLO alert stream (requires -slo)`)
 	os.Exit(2)
 }
 
@@ -76,6 +93,13 @@ func main() {
 		usage()
 	}
 	artifact := os.Args[1]
+	if artifact == "tracediff" {
+		if err := runTraceDiff("paperbench", os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: tracediff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(artifact, flag.ExitOnError)
 	completions := fs.Int("completions", 100, "completions for the fig4/fig5 experiment")
 	csvDir := fs.String("csv", "", "also write figure CSV series into this directory")
@@ -84,8 +108,22 @@ func main() {
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics from an instrumented rerun")
 	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
 	repartFlag := fs.String("repart", "", "repartitioning-controller spec, e.g. policy=knee,interval=10s")
+	attribOut := fs.String("attrib", "", "write the latency-attribution JSON from an instrumented rerun")
+	flameOut := fs.String("flame", "", "write folded flamegraph stacks from an instrumented rerun")
+	sloSpec := fs.String("slo", "", "SLO burn-rate rules for instrumented reruns, e.g. app:12s:0.9")
+	alertsOut := fs.String("alerts", "", "write the SLO alert stream (requires -slo)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *alertsOut != "" && *sloSpec == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -alerts requires -slo")
+		os.Exit(2)
+	}
+	if *sloSpec != "" {
+		if _, err := analyze.ParseSLOSpec(*sloSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: -slo:", err)
+			os.Exit(2)
+		}
 	}
 	var repartSpec repart.Spec
 	if *repartFlag != "" {
@@ -134,6 +172,8 @@ func main() {
 		err = report.OpenLoop(w)
 	case "repart":
 		err = report.Repart(w, repartSpec)
+	case "attrib":
+		err = report.Attribution(w, *completions)
 	case "all":
 		err = report.All(w, *completions)
 	default:
@@ -145,10 +185,100 @@ func main() {
 	if err == nil && (*traceOut != "" || *metricsOut != "") {
 		err = writeObservability(*traceOut, *metricsOut, *completions)
 	}
+	if err == nil && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
+		err = writeAttribution(*attribOut, *flameOut, *alertsOut, *sloSpec, *completions)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runTraceDiff implements the tracediff mode: compare two attribution
+// JSON artifacts (written with -attrib) phase by phase.
+func runTraceDiff(prog string, args []string) error {
+	fs := flag.NewFlagSet("tracediff", flag.ExitOnError)
+	aPath := fs.String("a", "", "baseline attribution JSON (written with -attrib)")
+	bPath := fs.String("b", "", "comparison attribution JSON (written with -attrib)")
+	outPath := fs.String("o", "", "also write the machine-readable diff as JSON to this file")
+	labelA := fs.String("label-a", "", "label for run A (default: the -a path)")
+	labelB := fs.String("label-b", "", "label for run B (default: the -b path)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s tracediff -a A.json -b B.json [-o out.json] [-label-a NAME] [-label-b NAME]\n", prog)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *aPath == "" || *bPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *labelA == "" {
+		*labelA = *aPath
+	}
+	if *labelB == "" {
+		*labelB = *bPath
+	}
+	readReport := func(path string) (*analyze.Report, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return analyze.ReadReport(f)
+	}
+	a, err := readReport(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := readReport(*bPath)
+	if err != nil {
+		return err
+	}
+	d := analyze.Diff(a, b, *labelA, *labelB)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := d.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return d.WriteText(os.Stdout)
+}
+
+// writeAttribution reruns the instrumented grid once and writes the
+// requested attribution artifacts. Any path may be empty.
+func writeAttribution(attribPath, flamePath, alertsPath, slo string, completions int) error {
+	open := func(path string) (io.Writer, func(), error) {
+		if path == "" {
+			return nil, func() {}, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+	attribW, closeA, err := open(attribPath)
+	if err != nil {
+		return err
+	}
+	defer closeA()
+	flameW, closeF, err := open(flamePath)
+	if err != nil {
+		return err
+	}
+	defer closeF()
+	alertsW, closeAl, err := open(alertsPath)
+	if err != nil {
+		return err
+	}
+	defer closeAl()
+	return report.AttributionArtifacts(attribW, flameW, alertsW, completions, slo)
 }
 
 // writeObservability reruns the instrumented grid once and writes the

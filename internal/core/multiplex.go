@@ -66,6 +66,9 @@ type MultiplexConfig struct {
 	// Observe enables deep instrumentation (kernel spans, scheduler
 	// counters); the result then carries the collector for export.
 	Observe bool
+	// SLO, when non-empty, attaches the burn-rate monitor (see
+	// Options.SLO for the spec format).
+	SLO string
 	// Chaos enables seeded fault injection for the run (nil falls
 	// back to the process-wide SetChaos spec). Under chaos the run
 	// tolerates terminally failed completions — counted in
@@ -143,6 +146,7 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 	pl, err := NewPlatform(Options{
 		DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()},
 		Observe:     c.Observe,
+		SLO:         c.SLO,
 		Chaos:       c.Chaos,
 	})
 	if err != nil {

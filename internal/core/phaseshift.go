@@ -62,6 +62,9 @@ type PhaseShiftConfig struct {
 	PromptTokens, OutputTokens int
 	// Observe enables deep instrumentation.
 	Observe bool
+	// SLO, when non-empty, attaches the burn-rate monitor (see
+	// Options.SLO for the spec format).
+	SLO string
 }
 
 func (c PhaseShiftConfig) withDefaults() PhaseShiftConfig {
@@ -131,6 +134,7 @@ func RunPhaseShift(cfg PhaseShiftConfig) (*PhaseShiftResult, error) {
 		RetryBackoff:    250 * time.Millisecond,
 		RetryBackoffMax: 4 * time.Second,
 		Observe:         c.Observe,
+		SLO:             c.SLO,
 	})
 	if err != nil {
 		return nil, err

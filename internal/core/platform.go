@@ -21,6 +21,7 @@ import (
 	"repro/internal/gpuctl"
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/simgpu"
 	"repro/internal/trace"
 )
@@ -52,6 +53,12 @@ type Options struct {
 	// TaskTimeout is the per-task deadline passed to the DFK (0 = no
 	// deadlines, the seed behavior).
 	TaskTimeout time.Duration
+	// SLO, when non-empty, attaches a burn-rate monitor over the task
+	// span stream: comma-separated "<app>:<latency>:<target>[:<window>]"
+	// rules evaluated on the virtual clock (see analyze.ParseSLOSpec).
+	// The monitor is read-only — it emits alert spans and counters but
+	// never steers scheduling or repartitioning.
+	SLO string
 	// Chaos enables seeded fault injection for this platform; nil
 	// falls back to the process-wide spec set via SetChaos (usually
 	// also nil). A chaos platform gets recovery defaults: at least 4
@@ -110,6 +117,9 @@ type Platform struct {
 	// Obs is the platform's collector: every span and metric from the
 	// DFK, executors, and (with Options.Observe) devices and scheduler.
 	Obs *obs.Collector
+	// SLOMon is the attached SLO burn-rate monitor (nil unless
+	// Options.SLO is set); Run closes it when the simulation drains.
+	SLOMon *analyze.Monitor
 	// Injector drives fault injection (nil when chaos is off).
 	Injector *fault.Injector
 	// Checker watches every task for the exactly-one-terminal-state
@@ -185,6 +195,13 @@ func NewPlatform(opts Options) (*Platform, error) {
 		}
 	})
 	pl.Monitor.Attach(dfk)
+	if o.SLO != "" {
+		rules, err := analyze.ParseSLOSpec(o.SLO)
+		if err != nil {
+			return nil, err
+		}
+		pl.SLOMon = analyze.NewMonitor(collector, env, rules)
+	}
 	if o.Chaos != nil {
 		inj := fault.New(env, *o.Chaos, collector)
 		inj.AttachPool(cpu)
@@ -277,5 +294,7 @@ func (pl *Platform) Run(main func(p *devent.Proc) error) error {
 	if err := pl.Env.Run(); err != nil {
 		return err
 	}
+	// Flush SLO alert windows still burning when the simulation drains.
+	pl.SLOMon.Close()
 	return mainErr
 }

@@ -52,14 +52,15 @@ var table1Software = map[Mode]string{
 // RunTable1 measures every technique under a common 4-tenant LLaMa
 // burst plus isolation and reconfiguration micro-benchmarks.
 func RunTable1() ([]Table1Row, error) {
-	rows, _, err := RunTable1Observed(false)
+	rows, _, err := RunTable1Observed(false, "")
 	return rows, err
 }
 
 // RunTable1Observed is RunTable1 with optional deep instrumentation;
 // it additionally returns each burst's collector, one per row in the
-// paper's row order.
-func RunTable1Observed(observe bool) ([]Table1Row, []*obs.Collector, error) {
+// paper's row order. A non-empty slo spec (see Options.SLO) attaches
+// the burn-rate monitor to every burst.
+func RunTable1Observed(observe bool, slo string) ([]Table1Row, []*obs.Collector, error) {
 	reconfigs, err := RunReconfig(2 * time.Second)
 	if err != nil {
 		return nil, nil, err
@@ -85,7 +86,7 @@ func RunTable1Observed(observe bool) ([]Table1Row, []*obs.Collector, error) {
 	}
 	cells, err := harness.Map(len(Table1Modes), func(i int) (cell, error) {
 		mode := Table1Modes[i]
-		mr, err := RunMultiplex(MultiplexConfig{Mode: mode, Processes: 4, Completions: 32, Observe: observe})
+		mr, err := RunMultiplex(MultiplexConfig{Mode: mode, Processes: 4, Completions: 32, Observe: observe, SLO: slo})
 		if err != nil {
 			return cell{}, fmt.Errorf("core: table1 %s burst: %w", mode, err)
 		}

@@ -235,6 +235,7 @@ func (h *HTEX) Start() error {
 				w := &worker{
 					name:  fmt.Sprintf("%s/block%d/worker%d", h.cfg.Label, bi, wi),
 					node:  node,
+					obsC:  h.obs,
 					state: make(map[string]any),
 					env:   map[string]string{},
 				}
@@ -296,7 +297,9 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		t.Worker = w.name
 		h.obs.EndSpan(sub.qspan, obs.String("worker", w.name))
 		rspan := h.obs.StartSpan("htex", "run", w.name, t.Span,
-			obs.Int("task", t.ID), obs.String("app", t.App))
+			obs.Int("task", t.ID), obs.String("app", t.App),
+			obs.String("accelerator", w.binding.Accelerator),
+			obs.Int("gpu_pct", w.binding.GPUPercent))
 		w.runSpan = rspan
 		if w.gpu != nil && !w.gpu.Destroyed() {
 			w.gpu.SetTraceParent(rspan)
@@ -560,6 +563,7 @@ type worker struct {
 	kill    *devent.Event
 	ready   bool
 	runSpan obs.SpanID
+	obsC    *obs.Collector
 }
 
 // Name implements faas.WorkerHandle.
@@ -575,9 +579,15 @@ func (w *worker) GPUContext(p *devent.Proc) (*simgpu.Context, error) {
 	if w.gpu != nil && !w.gpu.Destroyed() {
 		return w.gpu, nil
 	}
+	t0 := p.Now()
 	ctx, err := w.node.OpenContext(p, w.name, w.env)
 	if err != nil {
 		return nil, err
+	}
+	// Lazy context bring-up charged to the invocation that paid it: a
+	// cold-start phase boundary for the attribution engine.
+	if now := p.Now(); now > t0 {
+		w.obsC.AddSpan("htex", "ctxinit", w.name, w.runSpan, t0, now)
 	}
 	ctx.SetTraceParent(w.runSpan)
 	w.gpu = ctx

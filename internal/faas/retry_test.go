@@ -20,10 +20,10 @@ type retryExecutor struct {
 	calls int
 }
 
-func (s *retryExecutor) Label() string  { return s.label }
-func (s *retryExecutor) Start() error   { return nil }
-func (s *retryExecutor) Shutdown()      {}
-func (s *retryExecutor) Workers() int   { return 1 }
+func (s *retryExecutor) Label() string { return s.label }
+func (s *retryExecutor) Start() error  { return nil }
+func (s *retryExecutor) Shutdown()     {}
+func (s *retryExecutor) Workers() int  { return 1 }
 func (s *retryExecutor) Submit(task *Task, app App, args []any) *devent.Event {
 	s.calls++
 	call := s.calls

@@ -206,7 +206,7 @@ func (e *Engine) Load(p *devent.Proc, shards []*simgpu.Context, hostLoadBW float
 		}
 		work = append(work, wk)
 		// Weight shards stream sequentially through host storage.
-		ctx.Transfer(p, wBytes, hostLoadBW)
+		ctx.TransferTagged(p, wBytes, hostLoadBW, "weights")
 	}
 	e.shards = shards
 	e.weights = segs

@@ -1,0 +1,452 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tickClock is a settable obs.Clock for building synthetic collectors.
+type tickClock struct{ now time.Duration }
+
+func (c *tickClock) Now() time.Duration { return c.now }
+
+const ms = time.Millisecond
+
+// addTask records a synthetic dfk task span with the attrs Analyze
+// keys on and returns its ID for parenting child spans.
+func addTask(c *obs.Collector, id int, app, executor, status string, start, end time.Duration) obs.SpanID {
+	return c.AddSpan("dfk", "task", "task", 0, start, end,
+		obs.Int("task", id),
+		obs.String("app", app),
+		obs.String("executor", executor),
+		obs.String("status", status),
+	)
+}
+
+func taskByID(t *testing.T, rep *Report, id int) *TaskAttribution {
+	t.Helper()
+	for i := range rep.Tasks {
+		if rep.Tasks[i].Task == id {
+			return &rep.Tasks[i]
+		}
+	}
+	t.Fatalf("task %d not in report", id)
+	return nil
+}
+
+// checkSum asserts the exact-sum invariant for every task.
+func checkSum(t *testing.T, rep *Report) {
+	t.Helper()
+	for i := range rep.Tasks {
+		ta := &rep.Tasks[i]
+		if got, want := ta.Phases.Total(), ta.Duration(); got != want {
+			t.Errorf("task %d: phases sum %v != duration %v", ta.Task, got, want)
+		}
+	}
+}
+
+// TestAttributionFullPipeline exercises one task with every evidence
+// kind: queue wait overlapping worker init, a run span enclosing a
+// weight transfer, a plain transfer, and a kernel with dispatch delay.
+func TestAttributionFullPipeline(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+	c.SetScope("unit")
+
+	// Worker init window [0, 40ms) on worker w0.
+	c.AddSpan("htex", "init", "w0", 0, 0, 40*ms)
+
+	task := addTask(c, 7, "llama", "htex-gpu", "done", 10*ms, 200*ms)
+	// Queue [10, 60): the slice up to 40ms overlaps w0's init window.
+	q := c.AddSpan("htex", "queue", "task", task, 10*ms, 60*ms, obs.String("worker", "w0"))
+	_ = q
+	// Run [60, 200) on w0.
+	run := c.AddSpan("htex", "run", "w0", task, 60*ms, 200*ms,
+		obs.Int("task", 7), obs.String("app", "llama"), obs.Int("gpu_pct", 40))
+	// Lazy context init [60, 70).
+	c.AddSpan("htex", "ctxinit", "w0", run, 60*ms, 70*ms)
+	// Weight transfer [70, 100).
+	c.AddSpan("simgpu", "xfer", "ctx", run, 70*ms, 100*ms, obs.String("tag", "weights"))
+	// Plain transfer [100, 110).
+	c.AddSpan("simgpu", "xfer", "ctx", run, 100*ms, 110*ms)
+	// Kernel executed [140, 190) after 30ms of dispatch delay.
+	c.AddSpan("simgpu", "decode", "ctx", run, 140*ms, 190*ms, obs.Dur("queue_ns", 30*ms))
+
+	rep := Analyze(c)
+	checkSum(t, rep)
+	ta := taskByID(t, rep, 7)
+
+	want := map[Phase]time.Duration{
+		PhaseQueue:       20 * ms, // [40,60): queue not covered by init
+		PhaseColdStart:   40 * ms, // [10,40) queue∩init + [60,70) ctxinit
+		PhaseWeightLoad:  30 * ms, // [70,100)
+		PhasePCIe:        10 * ms, // [100,110)
+		PhaseHost:        40 * ms, // [110,140) gap + [190,200) tail of run
+		PhaseKernelQueue: 30 * ms, // [110,140)... wait, overlaps host
+		PhaseCompute:     50 * ms, // [140,190)
+	}
+	// Kernel queue [110,140) outranks the run span, so host is only
+	// the trailing [190,200).
+	want[PhaseHost] = 10 * ms
+	for p, w := range want {
+		if ta.Phases[p] != w {
+			t.Errorf("phase %s = %v, want %v", p, ta.Phases[p], w)
+		}
+	}
+	if ta.Phases[PhaseOther] != 0 || ta.Phases[PhaseSubmit] != 0 || ta.Phases[PhaseRetryBackoff] != 0 {
+		t.Errorf("unexpected residual phases: submit=%v retry=%v other=%v",
+			ta.Phases[PhaseSubmit], ta.Phases[PhaseRetryBackoff], ta.Phases[PhaseOther])
+	}
+	if ta.GPUPct != "40" {
+		t.Errorf("GPUPct = %q, want 40", ta.GPUPct)
+	}
+
+	if len(rep.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(rep.Groups))
+	}
+	g := rep.Groups[0]
+	if g.Scope != "unit" || g.App != "llama" || g.Tasks != 1 || g.MeanNS != int64(190*ms) {
+		t.Errorf("group = %+v", g)
+	}
+}
+
+// TestAttributionGapClasses checks positional classification of
+// uncovered time: leading gap -> submit, interior gap -> retry_backoff,
+// trailing gap -> other, and no evidence at all -> submit.
+func TestAttributionGapClasses(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+
+	task := addTask(c, 1, "a", "x", "done", 0, 100*ms)
+	// Evidence only in the middle: runs [20,40) and [60,80).
+	c.AddSpan("htex", "run", "w", task, 20*ms, 40*ms)
+	c.AddSpan("htex", "run", "w", task, 60*ms, 80*ms)
+
+	bare := addTask(c, 2, "a", "x", "done", 0, 50*ms)
+	_ = bare
+
+	rep := Analyze(c)
+	checkSum(t, rep)
+
+	ta := taskByID(t, rep, 1)
+	if ta.Phases[PhaseSubmit] != 20*ms {
+		t.Errorf("leading gap: submit = %v, want 20ms", ta.Phases[PhaseSubmit])
+	}
+	if ta.Phases[PhaseRetryBackoff] != 20*ms {
+		t.Errorf("interior gap: retry_backoff = %v, want 20ms", ta.Phases[PhaseRetryBackoff])
+	}
+	if ta.Phases[PhaseOther] != 20*ms {
+		t.Errorf("trailing gap: other = %v, want 20ms", ta.Phases[PhaseOther])
+	}
+	if ta.Phases[PhaseHost] != 40*ms {
+		t.Errorf("host = %v, want 40ms", ta.Phases[PhaseHost])
+	}
+
+	tb := taskByID(t, rep, 2)
+	if tb.Phases[PhaseSubmit] != 50*ms {
+		t.Errorf("no evidence: submit = %v, want full 50ms", tb.Phases[PhaseSubmit])
+	}
+}
+
+// TestAttributionBlockedQueue checks critical-path reattribution of
+// queue time: waiting for a busy worker is decomposed along the
+// blocking run's phases, while wait with no blocker stays queue.
+func TestAttributionBlockedQueue(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+
+	// Blocker: another task's run on w0 over [0, 60ms), split into
+	// 20ms kernel-queue, 30ms compute, 10ms host remainder.
+	blocker := addTask(c, 1, "a", "ex", "done", 0, 60*ms)
+	brun := c.AddSpan("htex", "run", "w0", blocker, 0, 60*ms)
+	c.AddSpan("simgpu", "k", "ctx", brun, 20*ms, 50*ms, obs.Dur("queue_ns", 20*ms))
+
+	// Waiter: queued [0, 80ms) for w0, runs [80, 100ms).
+	waiter := addTask(c, 2, "a", "ex", "done", 0, 100*ms)
+	c.AddSpan("htex", "queue", "task", waiter, 0, 80*ms, obs.String("worker", "w0"))
+	c.AddSpan("htex", "run", "w0", waiter, 80*ms, 100*ms)
+
+	rep := Analyze(c)
+	checkSum(t, rep)
+	ta := taskByID(t, rep, 2)
+	want := map[Phase]time.Duration{
+		PhaseKernelQueue: 20 * ms, // blocker's dispatch delay [0,20)
+		PhaseCompute:     30 * ms, // blocker's kernel [20,50)
+		PhaseQueue:       20 * ms, // [60,80): worker free of runs
+		PhaseHost:        30 * ms, // blocker's remainder [50,60) + own run
+	}
+	for p, w := range want {
+		if ta.Phases[p] != w {
+			t.Errorf("phase %s = %v, want %v", p, ta.Phases[p], w)
+		}
+	}
+	// The blocker's own attribution is untouched by the waiter.
+	tb := taskByID(t, rep, 1)
+	if tb.Phases[PhaseCompute] != 30*ms || tb.Phases[PhaseKernelQueue] != 20*ms || tb.Phases[PhaseHost] != 10*ms {
+		t.Errorf("blocker phases = %+v", tb.Phases)
+	}
+}
+
+// TestAttributionRestartWindow checks that an executor restart window
+// claims otherwise-uncovered queue-adjacent time, but only for tasks on
+// that executor, and never outranks real evidence.
+func TestAttributionRestartWindow(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+
+	// Restart window [20, 60) on executor ex1.
+	c.AddSpan("htex", "restart", "ex1", 0, 20*ms, 60*ms, obs.String("executor", "ex1"))
+
+	t1 := addTask(c, 1, "a", "ex1", "done", 0, 100*ms)
+	c.AddSpan("htex", "run", "w", t1, 60*ms, 100*ms)
+
+	t2 := addTask(c, 2, "a", "ex2", "done", 0, 100*ms)
+	c.AddSpan("htex", "run", "w", t2, 60*ms, 100*ms)
+
+	// Task fully covered by a queue span: restart must not outrank it.
+	t3 := addTask(c, 3, "a", "ex1", "done", 0, 100*ms)
+	c.AddSpan("htex", "queue", "task", t3, 0, 100*ms)
+
+	rep := Analyze(c)
+	checkSum(t, rep)
+
+	if ta := taskByID(t, rep, 1); ta.Phases[PhaseRestartStall] != 40*ms {
+		t.Errorf("same executor: restart_stall = %v, want 40ms", ta.Phases[PhaseRestartStall])
+	}
+	if ta := taskByID(t, rep, 2); ta.Phases[PhaseRestartStall] != 0 {
+		t.Errorf("other executor: restart_stall = %v, want 0", ta.Phases[PhaseRestartStall])
+	}
+	if ta := taskByID(t, rep, 3); ta.Phases[PhaseQueue] != 100*ms || ta.Phases[PhaseRestartStall] != 0 {
+		t.Errorf("queue outranks restart: queue=%v restart=%v", ta.Phases[PhaseQueue], ta.Phases[PhaseRestartStall])
+	}
+}
+
+// TestBreakdownJSONRoundTrip locks the canonical phase-object encoding
+// and rejects unknown phase names on the way back in.
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+	c.SetScope("rt")
+	task := addTask(c, 1, "a", "x", "done", 0, 10*ms)
+	c.AddSpan("htex", "run", "w", task, 0, 10*ms)
+	rep := Analyze(c)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"host": 10000000`) {
+		t.Fatalf("missing host entry in %s", buf.String())
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != 1 || back.Tasks[0].Phases != rep.Tasks[0].Phases {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back.Tasks, rep.Tasks)
+	}
+
+	var b Breakdown
+	if err := b.UnmarshalJSON([]byte(`{"no_such_phase":1}`)); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}
+
+// TestWriteFolded locks the folded-stack line format and ordering.
+func TestWriteFolded(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+	c.SetScope("s")
+	task := addTask(c, 1, "app", "ex", "done", 0, 30*ms)
+	run := c.AddSpan("htex", "run", "w", task, 10*ms, 30*ms, obs.Int("gpu_pct", 25))
+	c.AddSpan("simgpu", "k", "ctx", run, 10*ms, 30*ms)
+	rep := Analyze(c)
+
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	want := "s;ex;app@25;compute 20000000\ns;ex;app@25;submit 10000000\n"
+	if buf.String() != want {
+		t.Fatalf("folded:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	rules, err := ParseSLOSpec("llama:12s:0.9,load:30s:0.99:120s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rules))
+	}
+	if rules[0].App != "llama" || rules[0].Latency != 12*time.Second ||
+		rules[0].Target != 0.9 || rules[0].Window != DefaultSLOWindow {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Window != 120*time.Second {
+		t.Errorf("rule 1 window = %v", rules[1].Window)
+	}
+	for _, bad := range []string{
+		"", "x", "a:12s", "a:nope:0.9", "a:12s:1.5", "a:12s:0",
+		"a:12s:0.9,a:5s:0.5", ":12s:0.9", "a:12s:0.9:zz",
+	} {
+		if _, err := ParseSLOSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestMonitorAlertLifecycle drives task spans through a monitor and
+// checks the alert window, counters, and the rendered alert stream.
+func TestMonitorAlertLifecycle(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+	c.SetScope("mon")
+	rules := []Rule{{App: "a", Latency: 10 * ms, Target: 0.5, Window: time.Second}}
+	m := NewMonitor(c, clk, rules)
+	if m == nil {
+		t.Fatal("nil monitor")
+	}
+
+	end := func(at time.Duration, dur time.Duration, status string) {
+		clk.now = at
+		addTask(c, int(at/ms), "a", "ex", status, at-dur, at)
+	}
+	end(100*ms, 5*ms, "done")  // good: burn 0
+	end(200*ms, 50*ms, "done") // slow -> bad: (1/2)/0.5 = 1 -> alert
+	end(300*ms, 60*ms, "failed")
+	end(400*ms, 5*ms, "done") // 2/4 -> burn 1, still burning
+	end(500*ms, 5*ms, "done") // 2/5 -> burn 0.8 < 1 -> clears
+
+	// An app without a rule is ignored.
+	clk.now = 700 * ms
+	addTask(c, 99, "other", "ex", "failed", 600*ms, 700*ms)
+
+	m.Close()
+	if got := c.Metrics().Counter("slo_alerts_total", obs.L("app", "a")).Value(); got != 1 {
+		t.Errorf("slo_alerts_total = %v, want 1", got)
+	}
+	if got := c.Metrics().Counter("slo_events_total", obs.L("app", "a"), obs.L("verdict", "bad")).Value(); got != 2 {
+		t.Errorf("bad events = %v, want 2", got)
+	}
+
+	var alerts []obs.Span
+	for _, s := range c.Spans() {
+		if s.Cat == "slo" && s.Name == "burn" {
+			alerts = append(alerts, s)
+		}
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("alert spans = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Start != 200*ms || a.End != 500*ms || a.Attr("app") != "a" {
+		t.Errorf("alert = [%v,%v] app=%q", a.Start, a.End, a.Attr("app"))
+	}
+	if leaked := c.CheckClosed(); len(leaked) != 0 {
+		t.Errorf("monitor leaked open spans: %v", leaked)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAlerts(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "mon app=a start=200ms end=500ms") {
+		t.Errorf("alert stream: %q", buf.String())
+	}
+}
+
+// TestMonitorCloseFlushesActiveAlert checks a still-burning alert is
+// clamped to the clock at Close.
+func TestMonitorCloseFlushesActiveAlert(t *testing.T) {
+	clk := &tickClock{}
+	c := obs.New(clk)
+	m := NewMonitor(c, clk, []Rule{{App: "a", Latency: ms, Target: 0.5}})
+	clk.now = 50 * ms
+	addTask(c, 1, "a", "ex", "failed", 0, 50*ms)
+	clk.now = 80 * ms
+	m.Close()
+	var got *obs.Span
+	for _, s := range c.Spans() {
+		if s.Cat == "slo" {
+			s := s
+			got = &s
+		}
+	}
+	if got == nil || got.Start != 50*ms || got.End != 80*ms {
+		t.Fatalf("flushed alert = %+v", got)
+	}
+}
+
+func TestNewMonitorNil(t *testing.T) {
+	if NewMonitor(nil, &tickClock{}, []Rule{{App: "a"}}) != nil {
+		t.Error("nil collector should yield nil monitor")
+	}
+	var m *Monitor
+	m.Close() // must not panic
+}
+
+// TestDiff locks the dominant-phase computation and JSON shape.
+func TestDiff(t *testing.T) {
+	mk := func(compute, kq time.Duration) *Report {
+		r := &Report{}
+		var b Breakdown
+		b[PhaseCompute] = compute
+		b[PhaseKernelQueue] = kq
+		r.Tasks = append(r.Tasks, TaskAttribution{
+			Task: 1, App: "a", StartNS: 0, EndNS: int64(compute + kq), Phases: b,
+		})
+		return r
+	}
+	a := mk(100*ms, 300*ms)
+	b := mk(110*ms, 20*ms)
+	d := Diff(a, b, "A", "B")
+	if d.Dominant != "kernel_queue" {
+		t.Errorf("dominant = %q, want kernel_queue", d.Dominant)
+	}
+	if d.DeltaNS != int64(130*ms-400*ms) {
+		t.Errorf("delta = %d", d.DeltaNS)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dominant": "kernel_queue"`) {
+		t.Errorf("json: %s", buf.String())
+	}
+	buf.Reset()
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<- dominant") {
+		t.Errorf("text: %s", buf.String())
+	}
+}
+
+// TestDiffEmpty: diffing empty reports must not divide by zero.
+func TestDiffEmpty(t *testing.T) {
+	d := Diff(&Report{}, &Report{}, "A", "B")
+	if d.TasksA != 0 || d.TasksB != 0 || d.DeltaNS != 0 {
+		t.Errorf("empty diff = %+v", d)
+	}
+}
+
+func TestPhaseByName(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, ok := PhaseByName(p.String())
+		if !ok || got != p {
+			t.Errorf("PhaseByName(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := PhaseByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	if Phase(-1).String() != "invalid" || NumPhases.String() != "invalid" {
+		t.Error("out-of-range String")
+	}
+}

@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PhaseDelta compares one phase's mean per-task time between two runs.
+type PhaseDelta struct {
+	Phase   string `json:"phase"`
+	ANS     int64  `json:"a_ns"`     // mean per-task ns in run A
+	BNS     int64  `json:"b_ns"`     // mean per-task ns in run B
+	DeltaNS int64  `json:"delta_ns"` // B - A
+}
+
+// DiffReport is the machine-readable result of comparing two
+// attribution reports: per-phase deltas of mean per-task time, plus
+// the dominant phase — the one explaining the largest share of the
+// end-to-end latency gap.
+type DiffReport struct {
+	LabelA  string       `json:"label_a"`
+	LabelB  string       `json:"label_b"`
+	TasksA  int          `json:"tasks_a"`
+	TasksB  int          `json:"tasks_b"`
+	MeanANS int64        `json:"mean_a_ns"`
+	MeanBNS int64        `json:"mean_b_ns"`
+	DeltaNS int64        `json:"delta_ns"` // mean latency B - A
+	Phases  []PhaseDelta `json:"phases"`
+	// Dominant is the phase with the largest absolute delta.
+	Dominant string `json:"dominant"`
+}
+
+// meanBreakdown returns the mean per-task phase vector and mean
+// latency over all tasks in the report.
+func meanBreakdown(r *Report) (phases [NumPhases]int64, mean int64, n int) {
+	n = len(r.Tasks)
+	if n == 0 {
+		return
+	}
+	var sum [NumPhases]int64
+	var total int64
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		for p, v := range t.Phases {
+			sum[p] += int64(v)
+		}
+		total += t.EndNS - t.StartNS
+	}
+	for p := range sum {
+		phases[p] = sum[p] / int64(n)
+	}
+	mean = total / int64(n)
+	return
+}
+
+// Diff compares two attribution reports (B relative to A).
+func Diff(a, b *Report, labelA, labelB string) *DiffReport {
+	pa, ma, na := meanBreakdown(a)
+	pb, mb, nb := meanBreakdown(b)
+	d := &DiffReport{
+		LabelA: labelA, LabelB: labelB,
+		TasksA: na, TasksB: nb,
+		MeanANS: ma, MeanBNS: mb, DeltaNS: mb - ma,
+	}
+	var domAbs int64 = -1
+	for p := Phase(0); p < NumPhases; p++ {
+		pd := PhaseDelta{Phase: p.String(), ANS: pa[p], BNS: pb[p], DeltaNS: pb[p] - pa[p]}
+		d.Phases = append(d.Phases, pd)
+		abs := pd.DeltaNS
+		if abs < 0 {
+			abs = -abs
+		}
+		// Strictly-greater keeps the earliest phase on ties, which is
+		// deterministic because the phase order is fixed.
+		if abs > domAbs {
+			domAbs, d.Dominant = abs, pd.Phase
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *DiffReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteText renders the diff as a table of per-phase mean milliseconds
+// with the dominant phase called out.
+func (d *DiffReport) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace diff: %s (A, %d tasks) vs %s (B, %d tasks)\n",
+		d.LabelA, d.TasksA, d.LabelB, d.TasksB)
+	fmt.Fprintf(bw, "mean latency: A %.1f ms, B %.1f ms, delta %+.1f ms\n\n",
+		float64(d.MeanANS)/1e6, float64(d.MeanBNS)/1e6, float64(d.DeltaNS)/1e6)
+	fmt.Fprintf(bw, "%-14s %12s %12s %12s\n", "phase", "A_ms", "B_ms", "delta_ms")
+	for _, p := range d.Phases {
+		marker := ""
+		if p.Phase == d.Dominant {
+			marker = "  <- dominant"
+		}
+		fmt.Fprintf(bw, "%-14s %12.1f %12.1f %+12.1f%s\n",
+			p.Phase, float64(p.ANS)/1e6, float64(p.BNS)/1e6, float64(p.DeltaNS)/1e6, marker)
+	}
+	return bw.Flush()
+}

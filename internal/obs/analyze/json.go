@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MarshalJSON renders the breakdown as an object with one integer
+// nanosecond entry per phase, in canonical phase order. The encoding
+// is hand-built (no map iteration) so artifacts are byte-stable.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, v := range b {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", Phase(i).String(), int64(v))
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON reads the object form written by MarshalJSON. Unknown
+// phase names are rejected so version skew between two diffed
+// artifacts is an error, not silent data loss.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*b = Breakdown{}
+	for name, ns := range m {
+		p, ok := PhaseByName(name)
+		if !ok {
+			return fmt.Errorf("analyze: unknown phase %q", name)
+		}
+		b[p] = time.Duration(ns)
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON, the machine-readable
+// attribution artifact consumed by tracediff.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadReport parses an attribution artifact written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// WriteText renders the blame profiles as a human-readable table: one
+// row per group, one column per phase, values in milliseconds of mean
+// per-task time.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-28s %-16s %5s %9s %9s %9s", "scope", "app", "tasks", "mean_ms", "p95_ms", "p99_ms")
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(bw, " %12s", p.String())
+	}
+	fmt.Fprintln(bw)
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		app := g.App
+		if g.GPUPct != "" {
+			app += "@" + g.GPUPct
+		}
+		fmt.Fprintf(bw, "%-28s %-16s %5d %9.1f %9.1f %9.1f",
+			g.Scope, app, g.Tasks,
+			float64(g.MeanNS)/1e6, float64(g.P95NS)/1e6, float64(g.P99NS)/1e6)
+		for _, v := range g.Phases {
+			mean := 0.0
+			if g.Tasks > 0 {
+				mean = float64(v) / float64(g.Tasks) / 1e6
+			}
+			fmt.Fprintf(bw, " %12.1f", mean)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

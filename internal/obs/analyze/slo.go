@@ -1,0 +1,224 @@
+package analyze
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Rule is one latency objective: at least Target fraction of an app's
+// tasks inside any sliding Window must complete successfully within
+// Latency (all on the virtual clock).
+type Rule struct {
+	App     string
+	Latency time.Duration
+	Target  float64       // e.g. 0.95
+	Window  time.Duration // sliding window; DefaultSLOWindow if zero
+}
+
+// DefaultSLOWindow is the sliding window used when a rule omits one.
+const DefaultSLOWindow = 60 * time.Second
+
+// ParseSLOSpec parses a comma-separated list of rules, each
+// "<app>:<latency>:<target>[:<window>]", e.g.
+// "llama-complete:12s:0.9,llama-load:30s:0.99:120s".
+func ParseSLOSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("slo: %q: want app:latency:target[:window]", part)
+		}
+		r := Rule{App: fields[0], Window: DefaultSLOWindow}
+		if r.App == "" {
+			return nil, fmt.Errorf("slo: %q: empty app", part)
+		}
+		if seen[r.App] {
+			return nil, fmt.Errorf("slo: duplicate rule for app %q", r.App)
+		}
+		seen[r.App] = true
+		var err error
+		if r.Latency, err = time.ParseDuration(fields[1]); err != nil || r.Latency <= 0 {
+			return nil, fmt.Errorf("slo: %q: bad latency %q", part, fields[1])
+		}
+		if _, err = fmt.Sscanf(fields[2], "%g", &r.Target); err != nil || r.Target <= 0 || r.Target >= 1 {
+			return nil, fmt.Errorf("slo: %q: target must be in (0,1)", part)
+		}
+		if len(fields) == 4 {
+			if r.Window, err = time.ParseDuration(fields[3]); err != nil || r.Window <= 0 {
+				return nil, fmt.Errorf("slo: %q: bad window %q", part, fields[3])
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("slo: empty spec")
+	}
+	return rules, nil
+}
+
+// sloEvent is one terminal task outcome inside the sliding window.
+type sloEvent struct {
+	at  time.Duration
+	bad bool
+}
+
+// appState tracks one rule's sliding window and active alert.
+type appState struct {
+	rule   Rule
+	events []sloEvent
+	head   int // index of the oldest live event
+	bad    int
+
+	alertActive bool
+	alertStart  time.Duration
+	alertEvents int
+	peakBurn    float64
+}
+
+// Monitor evaluates SLO burn rates live over the span stream. It is
+// read-only with respect to the simulation: it never schedules events
+// and does not steer the repartitioning controller. Alert windows are
+// recorded retroactively (AddSpan at clear time) so the monitor never
+// leaves spans open; burn events and alert counts flow through the
+// collector's metrics registry.
+type Monitor struct {
+	c     *obs.Collector
+	clk   obs.Clock
+	apps  map[string]*appState
+	order []string
+}
+
+// NewMonitor attaches a monitor for the given rules to the collector's
+// span stream. A nil collector yields a nil (no-op) monitor.
+func NewMonitor(c *obs.Collector, clk obs.Clock, rules []Rule) *Monitor {
+	if c == nil || len(rules) == 0 {
+		return nil
+	}
+	m := &Monitor{c: c, clk: clk, apps: make(map[string]*appState)}
+	for _, r := range rules {
+		if r.Window <= 0 {
+			r.Window = DefaultSLOWindow
+		}
+		m.apps[r.App] = &appState{rule: r}
+		m.order = append(m.order, r.App)
+	}
+	c.OnSpanEnd(m.onSpan)
+	return m
+}
+
+// burn returns the current burn rate: the fraction of the error
+// budget (1-target) consumed by the window's bad fraction. burn >= 1
+// means the objective is being violated.
+func (st *appState) burn() float64 {
+	n := len(st.events) - st.head
+	if n == 0 {
+		return 0
+	}
+	badFrac := float64(st.bad) / float64(n)
+	return badFrac / (1 - st.rule.Target)
+}
+
+func (m *Monitor) onSpan(s obs.Span) {
+	if s.Cat != "dfk" || s.Name != "task" {
+		return
+	}
+	st, ok := m.apps[s.Attr("app")]
+	if !ok {
+		return
+	}
+	good := s.Attr("status") == "done" && s.Duration() <= st.rule.Latency
+	verdict := "good"
+	if !good {
+		verdict = "bad"
+	}
+	m.c.Metrics().Counter("slo_events_total", obs.L("app", st.rule.App), obs.L("verdict", verdict)).Inc()
+	st.events = append(st.events, sloEvent{at: s.End, bad: !good})
+	if !good {
+		st.bad++
+	}
+	// Evict events older than the sliding window.
+	cutoff := s.End - st.rule.Window
+	for st.head < len(st.events) && st.events[st.head].at < cutoff {
+		if st.events[st.head].bad {
+			st.bad--
+		}
+		st.head++
+	}
+	if st.head > 0 && st.head == len(st.events) {
+		st.events = st.events[:0]
+		st.head = 0
+	}
+	burn := st.burn()
+	switch {
+	case burn >= 1 && !st.alertActive:
+		st.alertActive = true
+		st.alertStart = s.End
+		st.alertEvents = 1
+		st.peakBurn = burn
+		m.c.Metrics().Counter("slo_alerts_total", obs.L("app", st.rule.App)).Inc()
+	case st.alertActive && burn >= 1:
+		st.alertEvents++
+		if burn > st.peakBurn {
+			st.peakBurn = burn
+		}
+	case st.alertActive && burn < 1:
+		m.emitAlert(st, s.End)
+	}
+}
+
+// emitAlert records the completed alert window as a retroactive span.
+func (m *Monitor) emitAlert(st *appState, end time.Duration) {
+	m.c.AddSpan("slo", "burn", "slo:"+st.rule.App, 0, st.alertStart, end,
+		obs.String("app", st.rule.App),
+		obs.Float("peak_burn", st.peakBurn),
+		obs.Int("events", st.alertEvents),
+	)
+	st.alertActive = false
+	st.alertEvents = 0
+	st.peakBurn = 0
+}
+
+// Close flushes alert windows still burning at run end, clamped to the
+// current virtual time. Safe on a nil monitor.
+func (m *Monitor) Close() {
+	if m == nil {
+		return
+	}
+	now := m.clk.Now()
+	for _, app := range m.order {
+		if st := m.apps[app]; st.alertActive {
+			m.emitAlert(st, now)
+		}
+	}
+}
+
+// WriteAlerts renders every recorded SLO alert window as one text line
+// per alert, in collector order then emission order — the
+// deterministic "alert stream" artifact.
+func WriteAlerts(w io.Writer, collectors ...*obs.Collector) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range collectors {
+		if c == nil {
+			continue
+		}
+		scope := c.Scope()
+		for _, s := range c.Spans() {
+			if s.Cat != "slo" || s.Name != "burn" {
+				continue
+			}
+			fmt.Fprintf(bw, "%s app=%s start=%s end=%s peak_burn=%s events=%s\n",
+				scope, s.Attr("app"), s.Start, s.End, s.Attr("peak_burn"), s.Attr("events"))
+		}
+	}
+	return bw.Flush()
+}

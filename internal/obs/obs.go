@@ -15,7 +15,10 @@
 // allocates nothing.
 package obs
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Clock supplies virtual timestamps; *devent.Env satisfies it.
 type Clock interface {
@@ -209,6 +212,26 @@ func (c *Collector) OpenSpans() int {
 		return 0
 	}
 	return len(c.open)
+}
+
+// CheckClosed returns the spans still open, in start order: the
+// open-span leak check. At run end only daemon lifecycles that the
+// drain legitimately interrupts (htex worker spans) should remain;
+// anything else is instrumentation that forgot to EndSpan.
+func (c *Collector) CheckClosed() []Span {
+	if c == nil || len(c.open) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(c.open))
+	for _, i := range c.open {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Span, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, c.spans[i])
+	}
+	return out
 }
 
 // Spans returns a snapshot of all spans in emission order. Spans still

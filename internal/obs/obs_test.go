@@ -128,7 +128,7 @@ func TestAttrConstructors(t *testing.T) {
 		{String("s", "x"), "s", "x"},
 		{Int("i", -3), "i", "-3"},
 		{Float("f", 0.5), "f", "0.5"},
-		{Dur("d", 1500 * time.Nanosecond), "d", "1500"},
+		{Dur("d", 1500*time.Nanosecond), "d", "1500"},
 	} {
 		if tc.a.Key != tc.k || tc.a.Value != tc.v {
 			t.Errorf("%+v != (%s, %s)", tc.a, tc.k, tc.v)

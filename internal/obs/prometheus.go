@@ -84,6 +84,12 @@ func WritePrometheus(w io.Writer, collectors ...*Collector) error {
 				cum := uint64(0)
 				for i, b := range v.bounds {
 					cum += v.counts[i]
+					// Bounds are normalized finite at registration;
+					// the guard keeps a hand-built histogram from
+					// rendering a duplicate +Inf line.
+					if math.IsInf(b, 0) || math.IsNaN(b) {
+						continue
+					}
 					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
 						renderLabels(sortedLabels(e.set, L("le", ftoa(b)))), cum)
 				}

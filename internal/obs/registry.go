@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -242,14 +243,41 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	return g
 }
 
+// normalizeBuckets canonicalizes histogram bounds for the Prometheus
+// exposition model: sorted ascending, deduplicated, and with
+// non-finite bounds dropped (the +Inf bucket is implicit; a caller
+// passing math.Inf(1) would otherwise render a duplicate `le="+Inf"`
+// line, and NaN cannot be a bound at all).
+func normalizeBuckets(buckets []float64) []float64 {
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	uniq := out[:0]
+	for i, b := range out {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return uniq
+}
+
 // Histogram returns (creating if needed) the histogram with these
-// labels. The first registration of a name fixes its buckets.
+// labels. The first registration of a name fixes its buckets; bounds
+// are normalized (sorted, deduplicated, finite) on registration.
 func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
 	if len(buckets) == 0 {
 		buckets = DefLatencyBuckets
+	}
+	if _, ok := r.families[name]; !ok {
+		buckets = normalizeBuckets(buckets)
 	}
 	f := r.family(name, KindHistogram, buckets)
 	ls, key := canonical(labels)

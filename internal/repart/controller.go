@@ -71,6 +71,10 @@ type tenantState struct {
 	// registry snapshots from the previous tick.
 	lastSum   float64
 	lastCount uint64
+	// queue-delay histogram snapshots, for the decide span's
+	// phase-context attributes.
+	lastQSum   float64
+	lastQCount uint64
 	// gauges exported per tenant.
 	gPct     *obs.Gauge
 	gWorkers *obs.Gauge
@@ -176,11 +180,15 @@ func (c *Controller) Stop() {
 	}
 }
 
-// window holds one tenant's per-tick observation.
+// window holds one tenant's per-tick observation. runMean and
+// queueMean (seconds) summarize where the tenant's tasks spent the
+// last window — the phase context recorded on the decide span.
 type window struct {
 	outstanding int
 	targetW     int
 	targetSMs   int
+	runMean     float64
+	queueMean   float64
 }
 
 // tick is one control decision: read per-tenant registry deltas,
@@ -201,9 +209,24 @@ func (c *Controller) tick(p *devent.Proc) {
 	} else {
 		decision = c.planMPS(p, span, obsv)
 	}
-	c.obsC.EndSpan(span,
+	// The decide span carries each tenant's phase context — where the
+	// last window's latency went — so a trace reader (or tracediff)
+	// can see what evidence the decision acted on.
+	attrs := []obs.Attr{
 		obs.String("decision", decision),
-		obs.String("plan", c.planString()))
+		obs.String("plan", c.planString()),
+	}
+	for i, ts := range c.tenants {
+		w := obsv[i]
+		blame := "run"
+		if w.queueMean > w.runMean {
+			blame = "queue"
+		}
+		attrs = append(attrs, obs.String("phase:"+ts.t.Name,
+			fmt.Sprintf("sms=%d backlog=%d run_ms=%.1f queue_ms=%.1f blame=%s",
+				w.targetSMs, w.outstanding, w.runMean*1e3, w.queueMean*1e3, blame)))
+	}
+	c.obsC.EndSpan(span, attrs...)
 }
 
 // observe reads each tenant's registry window: backlog from the
@@ -229,6 +252,15 @@ func (c *Controller) observe() []window {
 		}
 		ts.mixed = false
 		w := window{outstanding: int(submitted - done)}
+		if dCount > 0 {
+			w.runMean = dSum / float64(dCount)
+		}
+		qh := m.Histogram("faas_task_queue_delay_seconds", nil, app)
+		dQSum, dQCount := qh.Sum()-ts.lastQSum, qh.Count()-ts.lastQCount
+		ts.lastQSum, ts.lastQCount = qh.Sum(), qh.Count()
+		if dQCount > 0 {
+			w.queueMean = dQSum / float64(dQCount)
+		}
 		w.targetW = w.outstanding
 		if w.targetW < 1 {
 			w.targetW = 1

@@ -15,8 +15,9 @@ import (
 // Table 1 rows). The grid cells are independent simulations run
 // through the harness, which preserves input order regardless of
 // worker count — so the list, and anything exported from it, is
-// deterministic at any parallelism level.
-func ObservedCollectors(completions int) ([]*obs.Collector, error) {
+// deterministic at any parallelism level. A non-empty slo spec (see
+// core.Options.SLO) attaches the burn-rate monitor to every run.
+func ObservedCollectors(completions int, slo string) ([]*obs.Collector, error) {
 	if completions <= 0 {
 		completions = 100
 	}
@@ -25,7 +26,7 @@ func ObservedCollectors(completions int) ([]*obs.Collector, error) {
 	cells, err := harness.Map(len(modes)*procsPerMode, func(i int) (*obs.Collector, error) {
 		m, n := modes[i/procsPerMode], i%procsPerMode+1
 		r, err := core.RunMultiplex(core.MultiplexConfig{
-			Mode: m, Processes: n, Completions: completions, Observe: true,
+			Mode: m, Processes: n, Completions: completions, Observe: true, SLO: slo,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("report: observed %s n=%d: %w", m, n, err)
@@ -36,7 +37,7 @@ func ObservedCollectors(completions int) ([]*obs.Collector, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, t1, err := core.RunTable1Observed(true)
+	_, t1, err := core.RunTable1Observed(true, slo)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +49,7 @@ func ObservedCollectors(completions int) ([]*obs.Collector, error) {
 // (Perfetto-loadable) to traceW and Prometheus text exposition to
 // promW. Either writer may be nil to skip that artifact.
 func Observability(traceW, promW io.Writer, completions int) error {
-	collectors, err := ObservedCollectors(completions)
+	collectors, err := ObservedCollectors(completions, "")
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/devent"
@@ -174,20 +175,35 @@ func (c *Context) SpecView() SpecView {
 // CopyH2D blocks the proc for a host-to-device transfer of the given
 // size over PCIe.
 func (c *Context) CopyH2D(p *devent.Proc, bytes int64) {
-	c.transfer(p, bytes, c.pcieBW)
+	c.transfer(p, bytes, c.pcieBW, "pcie")
 }
 
 // Transfer blocks the proc for bytes moved at bw bytes/s (callers pick
 // the path: PCIe, NVLink, or the end-to-end model-loading path).
 func (c *Context) Transfer(p *devent.Proc, bytes int64, bw float64) {
-	c.transfer(p, bytes, bw)
+	c.transfer(p, bytes, bw, "")
 }
 
-func (c *Context) transfer(p *devent.Proc, bytes int64, bw float64) {
+// TransferTagged is Transfer with a workload tag recorded on the
+// transfer span; "weights" marks model-weight loads so the attribution
+// engine can separate weight loading from other PCIe traffic.
+func (c *Context) TransferTagged(p *devent.Proc, bytes int64, bw float64, tag string) {
+	c.transfer(p, bytes, bw, tag)
+}
+
+func (c *Context) transfer(p *devent.Proc, bytes int64, bw float64, tag string) {
 	if bytes <= 0 || bw <= 0 {
 		return
 	}
+	t0 := p.Now()
 	p.Sleep(time.Duration(float64(bytes) / bw * float64(time.Second)))
+	if c.dom.obs != nil {
+		attrs := []obs.Attr{obs.String("bytes", strconv.FormatInt(bytes, 10))}
+		if tag != "" {
+			attrs = append(attrs, obs.String("tag", tag))
+		}
+		c.dom.obs.AddSpan("simgpu", "xfer", c.name, c.traceParent, t0, p.Now(), attrs...)
+	}
 }
 
 // Pending returns the number of queued (incl. running) kernels.

@@ -387,11 +387,16 @@ func (d *domain) complete(l *launched) {
 	d.gQueue.Set(float64(d.depth))
 	d.cDone.Inc()
 	if d.obs != nil {
-		d.obs.AddSpan("simgpu", l.k.Name, l.ctx.name, l.ctx.traceParent, l.start, now,
+		attrs := []obs.Attr{
 			obs.String("domain", d.name),
 			obs.String("context", l.ctx.name),
 			obs.Float("sms", l.smAlloc),
-			obs.Dur("queue_ns", l.start-l.enqueue))
+			obs.Dur("queue_ns", l.start-l.enqueue),
+		}
+		if l.k.Tag != "" {
+			attrs = append(attrs, obs.String("tag", l.k.Tag))
+		}
+		d.obs.AddSpan("simgpu", l.k.Name, l.ctx.name, l.ctx.traceParent, l.start, now, attrs...)
 	}
 	if d.onDone != nil {
 		d.onDone(rec)
@@ -422,10 +427,15 @@ func (d *domain) abortContext(c *Context, err error) {
 			if !l.started {
 				start = l.enqueue
 			}
-			d.obs.AddSpan("simgpu", l.k.Name, c.name, c.traceParent, start, now,
+			attrs := []obs.Attr{
 				obs.String("domain", d.name),
 				obs.String("context", c.name),
-				obs.String("status", "aborted"))
+				obs.String("status", "aborted"),
+			}
+			if l.k.Tag != "" {
+				attrs = append(attrs, obs.String("tag", l.k.Tag))
+			}
+			d.obs.AddSpan("simgpu", l.k.Name, c.name, c.traceParent, start, now, attrs...)
 		}
 		if d.onDone != nil {
 			d.onDone(KernelRecord{
