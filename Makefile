@@ -5,12 +5,16 @@
 # per-package statement coverage. `make bench` regenerates the kernel
 # and paper benchmark records as `go test -json` event streams
 # (BENCH_devent.json, BENCH_paper.json), which benchstat and x/perf
-# tooling both consume. `make attrib` smoke-tests the latency
-# attribution pipeline end to end on the Table 1 bursts.
+# tooling both consume, and validates them with cmd/benchjson.
+# `make bench-diff` compares the committed records against freshly
+# regenerated ones via benchstat (skipped when benchstat is absent).
+# `make scale` runs a modest snapshot-vs-streaming throughput compare
+# of the sharded million-task scenario. `make attrib` smoke-tests the
+# latency attribution pipeline end to end on the Table 1 bursts.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper attrib clean
+.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-check bench-diff scale attrib clean
 
 check: build vet staticcheck test
 
@@ -46,13 +50,42 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s ./internal/faas/htex
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/repart
 
-bench: bench-devent bench-paper
+bench: bench-devent bench-paper bench-check
 
 bench-devent:
-	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent > BENCH_devent.json
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent ./internal/obs > BENCH_devent.json
 
 bench-paper:
 	$(GO) test -json -run '^$$' -bench=. -benchtime=1x . > BENCH_paper.json
+
+# Fail on malformed or benchmark-free records so a truncated `go test
+# -json` stream can't land as the current trajectory point.
+bench-check:
+	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json
+
+# Compare the committed records (HEAD) against freshly regenerated
+# ones. benchstat is optional locally (no network installs in the dev
+# container); without it the target reports how to read the records.
+bench-diff: bench
+	@if command -v benchstat >/dev/null 2>&1; then \
+		tmp=$$(mktemp -d); \
+		for f in BENCH_devent BENCH_paper; do \
+			git show HEAD:$$f.json > $$tmp/$$f.old.json 2>/dev/null || continue; \
+			$(GO) run ./cmd/benchjson text $$tmp/$$f.old.json > $$tmp/$$f.old.txt; \
+			$(GO) run ./cmd/benchjson text $$f.json > $$tmp/$$f.new.txt; \
+			echo "== $$f (HEAD vs regenerated) =="; \
+			benchstat $$tmp/$$f.old.txt $$tmp/$$f.new.txt; \
+		done; \
+		rm -rf $$tmp; \
+	else \
+		echo "benchstat not installed; skipping bench-diff (compare with: go run ./cmd/benchjson text BENCH_devent.json)"; \
+	fi
+
+# Modest-size snapshot-vs-streaming throughput compare of the sharded
+# open-loop scenario (the full 10^6-task run is `paperbench scale`
+# with defaults).
+scale:
+	$(GO) run ./cmd/paperbench scale -tasks 50000 -shards 4 -compare
 
 # End-to-end smoke test of the attribution pipeline: run the Table 1
 # bursts instrumented, render the folded-stack artifact, and print the

@@ -1,0 +1,158 @@
+// Command benchjson validates and converts the repository's tracked
+// benchmark records (BENCH_*.json) — `go test -json` event streams
+// produced by `make bench`.
+//
+// Usage:
+//
+//	benchjson check FILE...
+//	benchjson text FILE...
+//
+// check verifies each file is a well-formed test2json event stream
+// that actually ran benchmarks: every line must parse as an event, at
+// least one benchmark result line must be present, and no package may
+// have failed. Any violation prints a diagnostic and exits nonzero —
+// this is the CI gate that keeps a half-written or truncated record
+// from being committed as the current trajectory point.
+//
+// text re-extracts the raw benchmark output (goos/goarch/pkg headers
+// and Benchmark result lines) to stdout in the format benchstat and
+// the x/perf tools consume; `make bench-diff` feeds it the committed
+// and regenerated records.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// event is the subset of the test2json record shape this tool reads.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchjson <check|text> FILE...")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	mode := os.Args[1]
+	files := os.Args[2:]
+	var failed bool
+	for _, path := range files {
+		var err error
+		switch mode {
+		case "check":
+			err = check(path)
+		case "text":
+			err = text(path, os.Stdout)
+		default:
+			usage()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchResult reports whether an output line is a benchmark result
+// ("BenchmarkName-N <iters> <value> ns/op ...").
+func benchResult(line string) bool {
+	return strings.HasPrefix(line, "Benchmark") && strings.Contains(line, "ns/op")
+}
+
+// header reports whether an output line is one of the environment
+// headers benchstat keys results on.
+func header(line string) bool {
+	for _, p := range []string{"goos:", "goarch:", "pkg:", "cpu:"} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// scan parses the event stream, calling fn per event, and returns the
+// count of benchmark result lines and whether any package failed.
+func scan(path string, fn func(ev event)) (benches int, failedPkgs []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return 0, nil, fmt.Errorf("line %d: not a test2json event: %v", lineNo, err)
+		}
+		if ev.Action == "" {
+			return 0, nil, fmt.Errorf("line %d: event without an Action", lineNo)
+		}
+		if ev.Action == "fail" && ev.Test == "" {
+			failedPkgs = append(failedPkgs, ev.Package)
+		}
+		if ev.Action == "output" && benchResult(strings.TrimSpace(ev.Output)) {
+			benches++
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if lineNo == 0 {
+		return 0, nil, fmt.Errorf("empty file")
+	}
+	return benches, failedPkgs, nil
+}
+
+func check(path string) error {
+	benches, failedPkgs, err := scan(path, nil)
+	if err != nil {
+		return err
+	}
+	if len(failedPkgs) > 0 {
+		return fmt.Errorf("recorded failing packages: %s", strings.Join(failedPkgs, ", "))
+	}
+	if benches == 0 {
+		return fmt.Errorf("no benchmark results recorded (was -bench set?)")
+	}
+	fmt.Printf("%s: ok (%d benchmark results)\n", path, benches)
+	return nil
+}
+
+func text(path string, w *os.File) error {
+	_, _, err := scan(path, func(ev event) {
+		if ev.Action != "output" {
+			return
+		}
+		line := strings.TrimRight(ev.Output, "\n")
+		trimmed := strings.TrimSpace(line)
+		if benchResult(trimmed) || header(trimmed) {
+			fmt.Fprintln(w, line)
+		}
+	})
+	return err
+}

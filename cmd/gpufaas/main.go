@@ -12,8 +12,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -191,6 +193,8 @@ func runMultiplex(args []string) error {
 	tokens := fs.Int("tokens", 20, "output tokens per completion")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
+	stream := fs.Bool("stream", false, "stream the -trace spans to disk as they end (bounded memory; byte-identical output)")
+	sample := fs.Int("sample", 0, "with -stream, keep ~1/N of task trees in the trace")
 	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
 	attrib := addAttribFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -200,6 +204,9 @@ func runMultiplex(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *stream && attribObserve {
+		return fmt.Errorf("-stream is incompatible with -attrib/-flame/-alerts here; use paperbench -stream for streamed attribution")
+	}
 	cfg := core.MultiplexConfig{
 		Mode:         core.Mode(*mode),
 		Processes:    *procs,
@@ -207,6 +214,27 @@ func runMultiplex(args []string) error {
 		OutputTokens: *tokens,
 		Observe:      *traceOut != "" || *metricsOut != "" || attribObserve,
 		SLO:          *attrib.slo,
+	}
+	// Streaming trace: the section renders to the file as spans end;
+	// only the envelope is added afterwards via the stream splice.
+	var streamFile *os.File
+	var streamBuf *bufio.Writer
+	var streamSec *obs.TraceSection
+	if *stream && *traceOut != "" {
+		f, err := os.CreateTemp("", "gpufaas-*.trace")
+		if err != nil {
+			return err
+		}
+		defer func() { f.Close(); os.Remove(f.Name()) }()
+		streamFile = f
+		streamBuf = bufio.NewWriterSize(f, 1<<20)
+		cfg.OnCollector = func(c *obs.Collector) {
+			streamSec = obs.NewTraceSection(streamBuf, 1, fmt.Sprintf("multiplex/%s/p%d", cfg.Mode, cfg.Processes))
+			c.SetSink(streamSec)
+			if *sample > 1 {
+				c.SetSampleMod(*sample)
+			}
+		}
 	}
 	if *chaos != "" {
 		spec, err := fault.ParseSpec(*chaos)
@@ -220,7 +248,27 @@ func runMultiplex(args []string) error {
 		return err
 	}
 	if *traceOut != "" {
-		if err := writeArtifact(*traceOut, func(w *os.File) error {
+		if streamSec != nil {
+			r.Obs.Close() // flush parked daemon spans into the section
+			if err := streamSec.Err(); err != nil {
+				return err
+			}
+			if err := streamBuf.Flush(); err != nil {
+				return err
+			}
+			if err := writeArtifact(*traceOut, func(w *os.File) error {
+				if _, err := streamFile.Seek(0, io.SeekStart); err != nil {
+					return err
+				}
+				ts := obs.NewTraceStream(w)
+				if err := ts.Append(bufio.NewReaderSize(streamFile, 1<<20)); err != nil {
+					return err
+				}
+				return ts.Close()
+			}); err != nil {
+				return err
+			}
+		} else if err := writeArtifact(*traceOut, func(w *os.File) error {
 			return obs.WriteChromeTrace(w, r.Obs)
 		}); err != nil {
 			return err

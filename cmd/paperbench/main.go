@@ -47,8 +47,11 @@ artifacts:
              vs every static Table 1 plan
   attrib     latency attribution: per-phase blame profiles for the
              Table 1 bursts plus the timeshare-vs-MPS trace diff
-  all        everything, in paper order (repart and attrib excluded:
-             run them explicitly)
+  scale      million-task throughput: sharded open-loop microtask run
+             reporting events/sec, span counts, and retained-window
+             memory (see -tasks/-shards/-stream/-compare)
+  all        everything, in paper order (repart, attrib, and scale
+             excluded: run them explicitly)
 
 modes:
   tracediff  compare two attribution JSON artifacts (written with
@@ -84,7 +87,24 @@ flags:
   -slo SPEC        attach the SLO burn-rate monitor to instrumented
                    reruns: comma-separated app:latency:target[:window]
                    rules, e.g. -slo llama-complete:12s:0.9
-  -alerts FILE     write the SLO alert stream (requires -slo)`)
+  -alerts FILE     write the SLO alert stream (requires -slo)
+  -stream          export -trace/-metrics/-attrib/-flame/-alerts (and
+                   the scale run) in streaming mode: spans flush to
+                   exporters as they end instead of being retained;
+                   artifacts are byte-identical to snapshot mode
+  -sample N        with -stream, deterministically keep ~1/N of task
+                   trees in the trace (metrics and attribution see
+                   everything regardless)
+
+scale flags:
+  -tasks N         total tasks (default 1000000)
+  -shards N        independent platform shards (default 8)
+  -workers N       CPU workers per shard (default 16)
+  -window N        in-flight submissions per shard (default 64)
+  -arrival R       per-shard offered load, tasks/sec (default 8000)
+  -seed N          arrival/service RNG seed (default 1)
+  -compare         run snapshot then streaming and report the
+                   events/sec and memory deltas`)
 	os.Exit(2)
 }
 
@@ -112,6 +132,15 @@ func main() {
 	flameOut := fs.String("flame", "", "write folded flamegraph stacks from an instrumented rerun")
 	sloSpec := fs.String("slo", "", "SLO burn-rate rules for instrumented reruns, e.g. app:12s:0.9")
 	alertsOut := fs.String("alerts", "", "write the SLO alert stream (requires -slo)")
+	stream := fs.Bool("stream", false, "export instrumented artifacts in streaming mode")
+	sample := fs.Int("sample", 0, "with -stream, keep ~1/N of task trees in the trace")
+	tasks := fs.Int("tasks", 0, "scale: total tasks (default 1000000)")
+	shards := fs.Int("shards", 0, "scale: independent platform shards (default 8)")
+	workers := fs.Int("workers", 0, "scale: CPU workers per shard (default 16)")
+	window := fs.Int("window", 0, "scale: in-flight submissions per shard (default 64)")
+	arrival := fs.Float64("arrival", 0, "scale: per-shard offered load in tasks/sec (default 8000)")
+	seed := fs.Int64("seed", 0, "scale: arrival/service RNG seed (default 1)")
+	compare := fs.Bool("compare", false, "scale: run snapshot then streaming and report deltas")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -174,6 +203,12 @@ func main() {
 		err = report.Repart(w, repartSpec)
 	case "attrib":
 		err = report.Attribution(w, *completions)
+	case "scale":
+		err = report.Scale(w, report.ScaleOptions{
+			Tasks: *tasks, Shards: *shards, Workers: *workers, Window: *window,
+			ArrivalRate: *arrival, Seed: *seed, SampleMod: *sample,
+			Stream: *stream, Compare: *compare, TracePath: *traceOut,
+		})
 	case "all":
 		err = report.All(w, *completions)
 	default:
@@ -182,11 +217,12 @@ func main() {
 	if err == nil && *csvDir != "" {
 		err = report.WriteFigureCSVs(*csvDir, *completions)
 	}
-	if err == nil && (*traceOut != "" || *metricsOut != "") {
-		err = writeObservability(*traceOut, *metricsOut, *completions)
+	// The scale artifact consumes -trace itself (its own span stream).
+	if err == nil && artifact != "scale" && (*traceOut != "" || *metricsOut != "") {
+		err = writeObservability(*traceOut, *metricsOut, *completions, *stream, *sample)
 	}
-	if err == nil && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
-		err = writeAttribution(*attribOut, *flameOut, *alertsOut, *sloSpec, *completions)
+	if err == nil && artifact != "scale" && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
+		err = writeAttribution(*attribOut, *flameOut, *alertsOut, *sloSpec, *completions, *stream)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -252,7 +288,7 @@ func runTraceDiff(prog string, args []string) error {
 
 // writeAttribution reruns the instrumented grid once and writes the
 // requested attribution artifacts. Any path may be empty.
-func writeAttribution(attribPath, flamePath, alertsPath, slo string, completions int) error {
+func writeAttribution(attribPath, flamePath, alertsPath, slo string, completions int, stream bool) error {
 	open := func(path string) (io.Writer, func(), error) {
 		if path == "" {
 			return nil, func() {}, nil
@@ -278,12 +314,15 @@ func writeAttribution(attribPath, flamePath, alertsPath, slo string, completions
 		return err
 	}
 	defer closeAl()
+	if stream {
+		return report.AttributionArtifactsStreamed(attribW, flameW, alertsW, completions, slo)
+	}
 	return report.AttributionArtifacts(attribW, flameW, alertsW, completions, slo)
 }
 
 // writeObservability reruns the instrumented grid once and writes the
 // requested artifacts. Either path may be empty.
-func writeObservability(tracePath, metricsPath string, completions int) error {
+func writeObservability(tracePath, metricsPath string, completions int, stream bool, sample int) error {
 	var traceW, promW io.Writer
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -300,6 +339,9 @@ func writeObservability(tracePath, metricsPath string, completions int) error {
 		}
 		defer f.Close()
 		promW = f
+	}
+	if stream {
+		return report.ObservabilityStreamed(traceW, promW, completions, sample)
 	}
 	return report.Observability(traceW, promW, completions)
 }

@@ -69,6 +69,9 @@ type MultiplexConfig struct {
 	// SLO, when non-empty, attaches the burn-rate monitor (see
 	// Options.SLO for the spec format).
 	SLO string
+	// OnCollector is forwarded to Options.OnCollector: streaming
+	// exporters hook the run's collector before any span exists.
+	OnCollector func(*obs.Collector)
 	// Chaos enables seeded fault injection for the run (nil falls
 	// back to the process-wide SetChaos spec). Under chaos the run
 	// tolerates terminally failed completions — counted in
@@ -147,6 +150,7 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 		DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()},
 		Observe:     c.Observe,
 		SLO:         c.SLO,
+		OnCollector: c.OnCollector,
 		Chaos:       c.Chaos,
 	})
 	if err != nil {

@@ -59,6 +59,18 @@ type Options struct {
 	// The monitor is read-only — it emits alert spans and counters but
 	// never steers scheduling or repartitioning.
 	SLO string
+	// NoHistory disables whole-run retrospection so memory stays
+	// bounded by in-flight work instead of run length: the DFK drops
+	// completed task records, no Gantt trace bridge is installed, and
+	// the monitoring DB is not attached. The span stream is unaffected —
+	// pair with a streaming sink (Obs.SetSink) for bounded-memory
+	// million-task runs.
+	NoHistory bool
+	// OnCollector, when set, is called with the platform's collector
+	// during assembly, before any span exists. Streaming exporters use
+	// it to attach sinks, samplers, and incremental analyzers that must
+	// see the stream from the first span.
+	OnCollector func(*obs.Collector)
 	// Chaos enables seeded fault injection for this platform; nil
 	// falls back to the process-wide spec set via SetChaos (usually
 	// also nil). A chaos platform gets recovery defaults: at least 4
@@ -151,6 +163,9 @@ func NewPlatform(opts Options) (*Platform, error) {
 			d.SetCollector(collector)
 		}
 	}
+	if o.OnCollector != nil {
+		o.OnCollector(collector)
+	}
 	cpu, err := htex.New(env, o.chaosHTEX(htex.Config{
 		Label:      "cpu",
 		MaxWorkers: o.CPUWorkers,
@@ -160,10 +175,11 @@ func NewPlatform(opts Options) (*Platform, error) {
 		return nil, err
 	}
 	fcfg := faas.Config{
-		RunDir:    "sim",
-		Retries:   o.Retries,
-		Timeout:   o.TaskTimeout,
-		Collector: collector,
+		RunDir:        "sim",
+		Retries:       o.Retries,
+		Timeout:       o.TaskTimeout,
+		Collector:     collector,
+		DropCompleted: o.NoHistory,
 	}
 	if o.RetryBackoff > 0 {
 		fcfg.RetryBackoff = o.RetryBackoff
@@ -187,14 +203,16 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Obs:     collector,
 		opts:    o,
 	}
-	// Worker-side run spans become the platform's Gantt trace (Fig. 3
-	// view): one span per execution attempt on the worker's track.
-	collector.OnSpanEnd(func(s obs.Span) {
-		if s.Cat == "htex" && s.Name == "run" {
-			pl.Trace.Add(trace.SpanFromObs(s))
-		}
-	})
-	pl.Monitor.Attach(dfk)
+	if !o.NoHistory {
+		// Worker-side run spans become the platform's Gantt trace (Fig. 3
+		// view): one span per execution attempt on the worker's track.
+		collector.OnSpanEnd(func(s obs.Span) {
+			if s.Cat == "htex" && s.Name == "run" {
+				pl.Trace.Add(trace.SpanFromObs(s))
+			}
+		})
+		pl.Monitor.Attach(dfk)
+	}
 	if o.SLO != "" {
 		rules, err := analyze.ParseSLOSpec(o.SLO)
 		if err != nil {

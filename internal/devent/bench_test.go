@@ -89,3 +89,64 @@ func BenchmarkEventFanout(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEventWaitSteady measures the steady-state future pattern —
+// one proc repeatedly awaiting a freshly fired event on a long-lived
+// env — where the waiter pool and fanout-batch pool are warm. Target:
+// 3 allocs/op (the Event, the Schedule closure, and the Timer handle);
+// the eventWaiter must come from the pool.
+func BenchmarkEventWaitSteady(b *testing.B) {
+	env := NewEnv()
+	b.ReportAllocs()
+	env.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ev := env.NewEvent()
+			env.Schedule(time.Microsecond, func() { ev.Fire(nil) })
+			p.Wait(ev)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventFanoutSteady is EventFanout on a long-lived env: the
+// same 64 procs repeatedly block on a fresh event, so per-iteration
+// cost is the fanout itself (pooled waiters, one pooled proc batch,
+// one scheduled callback) without proc-spawn churn.
+func BenchmarkEventFanoutSteady(b *testing.B) {
+	const waiters = 64
+	env := NewEnv()
+	b.ReportAllocs()
+	ev := env.NewEvent()
+	gate := NewChan[int](env, waiters)
+	for w := 0; w < waiters; w++ {
+		env.Spawn("w", func(p *Proc) {
+			for {
+				cur := ev
+				if _, err := p.Wait(cur); err != nil {
+					return
+				}
+				gate.Send(p, 1)
+			}
+		})
+	}
+	env.Spawn("driver", func(p *Proc) {
+		p.Sleep(time.Millisecond) // let every waiter park on round 0
+		for i := 0; i < b.N; i++ {
+			cur := ev
+			ev = env.NewEvent()
+			cur.Fire(nil)
+			for n := 0; n < waiters; n++ {
+				gate.Recv(p)
+			}
+			p.Sleep(time.Millisecond) // waiters re-park on the new event
+		}
+		ev.Fail(ErrClosed)
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

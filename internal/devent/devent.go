@@ -56,8 +56,21 @@ type Env struct {
 	// exceed half the queue).
 	free      *queueItem
 	cancelled int
-	obs       Observer
+	// freeWaiter recycles eventWaiters (see event.go); freeBatches
+	// recycles the proc buffers used to batch multi-waiter fanouts.
+	freeWaiter  *eventWaiter
+	freeBatches [][]*Proc
+	// dispatched counts executed events; always on (a single
+	// increment) so throughput scenarios can report events/sec without
+	// attaching an observer.
+	dispatched int64
+	obs        Observer
 }
+
+// EventsDispatched reports how many events the scheduler has executed
+// since the environment was created — the denominator of the scale
+// scenario's events/sec metric.
+func (e *Env) EventsDispatched() int64 { return e.dispatched }
 
 // Observer receives scheduler lifecycle callbacks (the obs package's
 // Collector implements it). All methods run in sim context. Dispatched
@@ -271,6 +284,7 @@ func (e *Env) run(horizon time.Duration) error {
 		}
 		fn, p := it.fn, it.proc
 		e.release(it)
+		e.dispatched++
 		if e.obs != nil {
 			e.obs.Dispatched(e.now)
 		}

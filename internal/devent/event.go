@@ -9,18 +9,67 @@ import (
 // block on it with Wait; callbacks attach with OnFire. Events fire at
 // most once: firing twice panics (use Fired to guard).
 type Event struct {
-	env     *Env
-	name    string
-	fired   bool
-	value   any
-	err     error
+	env   *Env
+	name  string
+	fired bool
+	value any
+	err   error
+	// w0 is the inline slot for the common single-waiter case (a proc
+	// awaiting one future); the slice only materialises on fanout.
+	w0      *eventWaiter
 	waiters []*eventWaiter
 	cbs     []func(*Event)
 }
 
+// eventWaiter links one parked proc to the event it awaits. Waiters
+// are pooled on the Env (getWaiter/putWaiter): gen distinguishes a
+// live waiter from a recycled one a stale timeout closure still
+// references, and timed marks waiters owned by WaitTimeout, which
+// releases them itself after the proc resumes.
 type eventWaiter struct {
 	p     *Proc
 	woken bool
+	timed bool
+	gen   uint64
+	next  *eventWaiter
+}
+
+func (e *Env) getWaiter(p *Proc) *eventWaiter {
+	w := e.freeWaiter
+	if w != nil {
+		e.freeWaiter = w.next
+		w.next = nil
+	} else {
+		w = &eventWaiter{}
+	}
+	w.p = p
+	w.woken = false
+	w.timed = false
+	return w
+}
+
+func (e *Env) putWaiter(w *eventWaiter) {
+	w.gen++
+	w.p = nil
+	w.next = e.freeWaiter
+	e.freeWaiter = w
+}
+
+// getBatch pops a pooled proc buffer for fanout wakeups.
+func (e *Env) getBatch() []*Proc {
+	if n := len(e.freeBatches); n > 0 {
+		b := e.freeBatches[n-1]
+		e.freeBatches = e.freeBatches[:n-1]
+		return b
+	}
+	return make([]*Proc, 0, 8)
+}
+
+func (e *Env) putBatch(b []*Proc) {
+	for i := range b {
+		b[i] = nil
+	}
+	e.freeBatches = append(e.freeBatches, b[:0])
 }
 
 // NewEvent returns an unfired event bound to the environment.
@@ -59,41 +108,52 @@ func (ev *Event) fire(v any, err error) {
 	ev.fired = true
 	ev.value = v
 	ev.err = err
-	// Batch the fanout: waking N waiters individually costs N queue
-	// items; instead collect the procs and hand off to each in order
-	// from a single scheduled callback. Each waiter was queued before
-	// any of them runs, so the relative order — waiters in
-	// registration order, ahead of anything they schedule — is the
-	// same as with per-waiter wakeups.
-	switch len(ev.waiters) {
-	case 0:
-	case 1:
-		if w := ev.waiters[0]; !w.woken {
+	env := ev.env
+	// Collect live waiters in registration order into a pooled batch.
+	// Plain Wait waiters return to the pool here (their proc never
+	// touches them after parking); timed waiters are released by
+	// WaitTimeout once the proc resumes.
+	batch := env.getBatch()
+	if w := ev.w0; w != nil {
+		ev.w0 = nil
+		if !w.woken {
 			w.woken = true
-			ev.env.wake(w.p)
-		}
-	default:
-		procs := make([]*Proc, 0, len(ev.waiters))
-		for _, w := range ev.waiters {
-			if !w.woken {
-				w.woken = true
-				procs = append(procs, w.p)
+			batch = append(batch, w.p)
+			if !w.timed {
+				env.putWaiter(w)
 			}
 		}
-		switch len(procs) {
-		case 0:
-		case 1:
-			ev.env.wake(procs[0])
-		default:
-			env := ev.env
-			env.scheduleFn(0, func() {
-				for _, p := range procs {
-					env.handoff(p)
-				}
-			})
+	}
+	for _, w := range ev.waiters {
+		if !w.woken {
+			w.woken = true
+			batch = append(batch, w.p)
+			if !w.timed {
+				env.putWaiter(w)
+			}
 		}
 	}
 	ev.waiters = nil
+	// Batch the fanout: waking N waiters individually costs N queue
+	// items; instead hand off to each in order from a single scheduled
+	// callback. Each waiter was queued before any of them runs, so the
+	// relative order — waiters in registration order, ahead of anything
+	// they schedule — is the same as with per-waiter wakeups.
+	switch len(batch) {
+	case 0:
+		env.putBatch(batch)
+	case 1:
+		p := batch[0]
+		env.putBatch(batch)
+		env.wake(p)
+	default:
+		env.scheduleFn(0, func() {
+			for _, p := range batch {
+				env.handoff(p)
+			}
+			env.putBatch(batch)
+		})
+	}
 	cbs := ev.cbs
 	ev.cbs = nil
 	for _, cb := range cbs {
@@ -111,9 +171,19 @@ func (ev *Event) OnFire(cb func(*Event)) {
 	ev.cbs = append(ev.cbs, cb)
 }
 
-func (ev *Event) addWaiter(w *eventWaiter) { ev.waiters = append(ev.waiters, w) }
+func (ev *Event) addWaiter(w *eventWaiter) {
+	if ev.w0 == nil && len(ev.waiters) == 0 {
+		ev.w0 = w
+		return
+	}
+	ev.waiters = append(ev.waiters, w)
+}
 
 func (ev *Event) removeWaiter(w *eventWaiter) {
+	if ev.w0 == w {
+		ev.w0 = nil
+		return
+	}
 	for i, x := range ev.waiters {
 		if x == w {
 			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
@@ -128,7 +198,7 @@ func (p *Proc) Wait(ev *Event) (any, error) {
 	if ev.fired {
 		return ev.value, ev.err
 	}
-	w := &eventWaiter{p: p}
+	w := p.env.getWaiter(p)
 	ev.addWaiter(w)
 	p.park()
 	return ev.value, ev.err
@@ -140,11 +210,15 @@ func (p *Proc) WaitTimeout(ev *Event, d time.Duration) (any, error) {
 	if ev.fired {
 		return ev.value, ev.err
 	}
-	w := &eventWaiter{p: p}
+	w := p.env.getWaiter(p)
+	w.timed = true
+	wgen := w.gen
 	ev.addWaiter(w)
 	timedOut := false
 	t := p.env.Schedule(d, func() {
-		if w.woken {
+		// gen guards against the waiter being recycled before a stale
+		// (uncancellable-in-time) timer pops.
+		if w.gen != wgen || w.woken {
 			return
 		}
 		w.woken = true
@@ -153,6 +227,7 @@ func (p *Proc) WaitTimeout(ev *Event, d time.Duration) (any, error) {
 		p.env.wake(p)
 	})
 	p.park()
+	p.env.putWaiter(w)
 	if timedOut {
 		return nil, ErrTimeout
 	}

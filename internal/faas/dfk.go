@@ -197,7 +197,9 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		obs.String("app", appName),
 	)
 	d.obs.Metrics().Counter("faas_tasks_submitted_total", obs.L("app", appName)).Inc()
-	d.tasks = append(d.tasks, task)
+	if !d.cfg.DropCompleted {
+		d.tasks = append(d.tasks, task)
+	}
 	done := d.env.NewNamedEvent(fmt.Sprintf("task-%d", task.ID))
 	fut := NewFuture(task, done)
 

@@ -271,6 +271,10 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 		obs.String("executor", h.cfg.Label),
 		obs.String("accelerator", w.binding.Accelerator),
 		obs.Int("gpu_pct", w.binding.GPUPercent))
+	// Daemon lifecycle: stays open until drain, so pin it out of the
+	// streaming flush frontier (it would otherwise block every span
+	// recorded after it for the whole run).
+	h.obs.PinSpan(wspan)
 	h.gWorkers.Add(1)
 	h.cCold.Inc()
 	defer func() {
@@ -535,19 +539,24 @@ func (h *HTEX) ShutdownAndWait(p *devent.Proc) {
 // workers: the paper's MPS/MIG re-partition path, which requires full
 // process restart and re-pays every cold-start component.
 func (h *HTEX) Restart(p *devent.Proc, accelerators []string, percentages []int) error {
-	t0 := p.Now()
+	// Opened live (not recorded retroactively) so streaming analyzers
+	// see the restart window while it is in progress: tasks completing
+	// during the drain must not be attributed before the overlapping
+	// restart span exists.
+	rspan := h.obs.StartSpan("htex", "restart", h.cfg.Label, 0,
+		obs.String("executor", h.cfg.Label))
 	h.ShutdownAndWait(p)
 	cfg := h.cfg
 	cfg.AvailableAccelerators = accelerators
 	cfg.GPUPercentages = percentages
 	if err := cfg.Validate(); err != nil {
+		h.obs.EndSpan(rspan)
 		return err
 	}
 	h.cfg = cfg
 	h.queue = devent.NewChan[*submission](h.env, 1<<20)
 	err := h.Start()
-	h.obs.AddSpan("htex", "restart", h.cfg.Label, 0, t0, p.Now(),
-		obs.String("executor", h.cfg.Label))
+	h.obs.EndSpan(rspan)
 	h.cRestarts.Inc()
 	return err
 }

@@ -1,0 +1,53 @@
+package harness
+
+// Range is a half-open contiguous index interval [Start, End).
+type Range struct {
+	Start, End int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Chunks partitions [0, n) into at most k contiguous near-equal
+// ranges. The first n%k ranges hold one extra index, so sizes differ
+// by at most one and the partition depends only on (n, k) — never on
+// scheduling — which is what keeps sharded runs deterministic. Fewer
+// than k ranges are returned when n < k (no empty shards), and n <= 0
+// yields nil.
+func Chunks(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, k)
+	size, extra := n/k, n%k
+	start := 0
+	for i := range out {
+		end := start + size
+		if i < extra {
+			end++
+		}
+		out[i] = Range{Start: start, End: end}
+		start = end
+	}
+	return out
+}
+
+// ShardMap partitions n items into at most `shards` contiguous ranges
+// with Chunks and runs fn once per shard through Map, so shards
+// execute under the global Parallelism cap while results come back in
+// shard order. Like Map, every shard runs to completion and the
+// lowest-shard error wins. Each shard owns a disjoint index range, so
+// shard functions can build fully independent state (a platform
+// instance per shard) without coordination.
+func ShardMap[T any](n, shards int, fn func(shard int, r Range) (T, error)) ([]T, error) {
+	ranges := Chunks(n, shards)
+	return Map(len(ranges), func(i int) (T, error) {
+		return fn(i, ranges[i])
+	})
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestChunksCoverAndBalance(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {-3, 2}, {1, 1}, {1, 8}, {7, 3}, {10, 3}, {16, 4},
+		{100, 7}, {1000000, 13}, {5, 0},
+	} {
+		got := Chunks(tc.n, tc.k)
+		if tc.n <= 0 {
+			if got != nil {
+				t.Fatalf("Chunks(%d,%d) = %v, want nil", tc.n, tc.k, got)
+			}
+			continue
+		}
+		wantLen := tc.k
+		if wantLen < 1 {
+			wantLen = 1
+		}
+		if wantLen > tc.n {
+			wantLen = tc.n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("Chunks(%d,%d): %d ranges, want %d", tc.n, tc.k, len(got), wantLen)
+		}
+		next, min, max := 0, tc.n, 0
+		for _, r := range got {
+			if r.Start != next {
+				t.Fatalf("Chunks(%d,%d): gap at %d (range %+v)", tc.n, tc.k, next, r)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("Chunks(%d,%d): empty range %+v", tc.n, tc.k, r)
+			}
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+			next = r.End
+		}
+		if next != tc.n {
+			t.Fatalf("Chunks(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.k, next, tc.n)
+		}
+		if max-min > 1 {
+			t.Fatalf("Chunks(%d,%d): unbalanced sizes (min %d, max %d)", tc.n, tc.k, min, max)
+		}
+	}
+}
+
+func TestChunksDeterministic(t *testing.T) {
+	a := Chunks(12345, 11)
+	b := Chunks(12345, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Chunks not deterministic for identical inputs")
+	}
+}
+
+// TestShardMapParallelismInvariant locks the tentpole contract: the
+// same sharded computation yields identical shard results at any
+// worker count.
+func TestShardMapParallelismInvariant(t *testing.T) {
+	const n, shards = 1000, 8
+	run := func() []string {
+		out, err := ShardMap(n, shards, func(shard int, r Range) (string, error) {
+			sum := 0
+			for i := r.Start; i < r.End; i++ {
+				sum += i * i
+			}
+			return fmt.Sprintf("shard%d[%d:%d]=%d", shard, r.Start, r.End, sum), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	defer SetParallelism(SetParallelism(1))
+	seq := run()
+	SetParallelism(4)
+	par := run()
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("shard results differ across parallelism:\nseq: %v\npar: %v", seq, par)
+	}
+	if len(seq) != shards {
+		t.Fatalf("want %d shards, got %d", shards, len(seq))
+	}
+}
+
+func TestShardMapLowestShardErrorWins(t *testing.T) {
+	_, err := ShardMap(100, 10, func(shard int, r Range) (int, error) {
+		if shard >= 3 {
+			return 0, fmt.Errorf("shard %d failed", shard)
+		}
+		return r.Len(), nil
+	})
+	if err == nil || err.Error() != "shard 3 failed" {
+		t.Fatalf("want lowest-shard error, got %v", err)
+	}
+}

@@ -216,26 +216,11 @@ type analyzer struct {
 
 func analyzeCollector(rep *Report, c *obs.Collector) {
 	spans := c.Spans()
-	a := &analyzer{
-		children:    make(map[obs.SpanID][]*obs.Span),
-		runsByTrack: make(map[string][]*obs.Span),
-		runIvs:      make(map[obs.SpanID][]interval),
-	}
+	a := newAnalyzer()
 	var tasks []*obs.Span
 	for i := range spans {
-		s := &spans[i]
-		if s.Parent != 0 {
-			a.children[s.Parent] = append(a.children[s.Parent], s)
-		}
-		switch {
-		case s.Cat == "dfk" && s.Name == "task":
-			tasks = append(tasks, s)
-		case s.Cat == "htex" && s.Name == "restart":
-			a.restarts = append(a.restarts, s)
-		case s.Cat == "htex" && s.Name == "init":
-			a.inits = append(a.inits, s)
-		case s.Cat == "htex" && s.Name == "run":
-			a.runsByTrack[s.Track] = append(a.runsByTrack[s.Track], s)
+		if a.addEvidence(&spans[i]) {
+			tasks = append(tasks, &spans[i])
 		}
 	}
 	scope := c.Scope()
@@ -244,6 +229,37 @@ func analyzeCollector(rep *Report, c *obs.Collector) {
 		ta.Scope = scope
 		rep.Tasks = append(rep.Tasks, ta)
 	}
+}
+
+func newAnalyzer() *analyzer {
+	return &analyzer{
+		children:    make(map[obs.SpanID][]*obs.Span),
+		runsByTrack: make(map[string][]*obs.Span),
+		runIvs:      make(map[obs.SpanID][]interval),
+	}
+}
+
+// addEvidence indexes one span into the analyzer's evidence structures
+// and reports whether it is a dfk task span (the attribution unit).
+// Shared by the snapshot path (which feeds a full Spans() snapshot in
+// ID order) and the Streamer (which feeds spans as they end, then
+// re-sorts the touched index lists by ID before attributing, so both
+// paths attribute over identically ordered evidence).
+func (a *analyzer) addEvidence(s *obs.Span) bool {
+	if s.Parent != 0 {
+		a.children[s.Parent] = append(a.children[s.Parent], s)
+	}
+	switch {
+	case s.Cat == "dfk" && s.Name == "task":
+		return true
+	case s.Cat == "htex" && s.Name == "restart":
+		a.restarts = append(a.restarts, s)
+	case s.Cat == "htex" && s.Name == "init":
+		a.inits = append(a.inits, s)
+	case s.Cat == "htex" && s.Name == "run":
+		a.runsByTrack[s.Track] = append(a.runsByTrack[s.Track], s)
+	}
+	return false
 }
 
 // runIntervals returns (memoized) the full evidence set of one run

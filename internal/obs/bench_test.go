@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -77,7 +78,10 @@ func BenchmarkNilInstruments(b *testing.B) {
 	}
 }
 
-// BenchmarkSpanLifecycle measures the enabled span path.
+// BenchmarkSpanLifecycle measures the enabled snapshot span path:
+// StartSpan + EndSpan with no exporter attached. Target: 0 allocs/op
+// amortized but ~500 B/op of retained-slice growth — snapshot
+// collection memory scales with span count (see retained-spans).
 func BenchmarkSpanLifecycle(b *testing.B) {
 	env := devent.NewEnv()
 	c := obs.New(env)
@@ -86,5 +90,60 @@ func BenchmarkSpanLifecycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := c.StartSpan("htex", "run", "w0", 0)
 		c.EndSpan(id)
+	}
+	b.ReportMetric(float64(c.MaxRetained()), "retained-spans")
+}
+
+// BenchmarkSpanLifecycleStreamed measures the streaming span path:
+// StartSpan + EndSpan with a TraceSection exporter attached, each span
+// rendered and released as its flush frontier passes. Target:
+// 0 allocs/op steady state — the retained window and the section's
+// render buffer are both recycled, so collection memory stays flat no
+// matter how many spans the run records.
+func BenchmarkSpanLifecycleStreamed(b *testing.B) {
+	env := devent.NewEnv()
+	c := obs.New(env)
+	c.SetSink(obs.NewTraceSection(io.Discard, 1, "bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.StartSpan("htex", "run", "w0", 0)
+		c.EndSpan(id)
+	}
+	b.ReportMetric(float64(c.MaxRetained()), "retained-spans")
+}
+
+// BenchmarkSpanLifecycleSampledOut measures the streaming path when
+// sampling drops the span: the cheapest instrumented configuration
+// (span recorded for listeners and leak checks, never rendered).
+// Target: 0 allocs/op steady state.
+func BenchmarkSpanLifecycleSampledOut(b *testing.B) {
+	env := devent.NewEnv()
+	c := obs.New(env)
+	c.SetSink(obs.NewTraceSection(io.Discard, 1, "bench"))
+	// "w1" hashes to a nonzero residue mod 1<<20, so every span drops.
+	c.SetSampleMod(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.StartSpan("htex", "run", "w1", 0)
+		c.EndSpan(id)
+	}
+}
+
+// BenchmarkCounterInc measures a pre-resolved live counter increment —
+// the steady-state cost instrumented hot paths pay per event. Target:
+// 0 allocs/op (the registry lookup happens once, outside the loop).
+func BenchmarkCounterInc(b *testing.B) {
+	env := devent.NewEnv()
+	c := obs.New(env)
+	cnt := c.Metrics().Counter("bench_events_total", obs.L("src", "bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Inc()
+	}
+	if cnt.Value() != float64(b.N) {
+		b.Fatal("count mismatch")
 	}
 }

@@ -7,6 +7,209 @@ import (
 	"time"
 )
 
+// The Chrome trace-event JSON envelope. Every event in the stream is
+// written preceded by ",\n"; a commaDropper strips the very first
+// comma so the first event follows the opening bracket with a bare
+// newline. Rendering every event through the same TraceSection code in
+// both snapshot and streaming mode makes the two byte-identical by
+// construction.
+const traceHeader = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+const traceTrailer = "\n]}\n"
+
+// commaDropper strips the leading comma from the first non-empty write
+// it sees, turning a concatenation of ",\n"-prefixed events into a
+// valid JSON array body.
+type commaDropper struct {
+	w       io.Writer
+	dropped bool
+}
+
+func (d *commaDropper) Write(p []byte) (int, error) {
+	if !d.dropped && len(p) > 0 {
+		d.dropped = true
+		if p[0] == ',' {
+			n, err := d.w.Write(p[1:])
+			return n + 1, err
+		}
+	}
+	return d.w.Write(p)
+}
+
+// TraceSection renders one collector's spans as the trace events of a
+// single process (pid). It implements SpanSink, so it can be attached
+// directly to a streaming collector, and it is also the rendering core
+// of the snapshot WriteChromeTrace. Events are written to w as they
+// are emitted, each preceded by ",\n"; tracks become tids in
+// first-seen order. Section output composed through a TraceStream (or
+// WriteChromeTrace's internal commaDropper) forms the full artifact.
+type TraceSection struct {
+	w    io.Writer
+	pid  int
+	tids map[string]int
+	buf  []byte
+	err  error
+}
+
+// NewTraceSection starts a section for pid, immediately emitting its
+// process_name metadata ("env<pid>" when scope is empty).
+func NewTraceSection(w io.Writer, pid int, scope string) *TraceSection {
+	ts := &TraceSection{w: w, pid: pid, tids: make(map[string]int)}
+	if scope == "" {
+		scope = "env" + strconv.Itoa(pid)
+	}
+	ts.appendMeta(0, "process_name", scope)
+	ts.flush()
+	return ts
+}
+
+// Err returns the first write error encountered, if any.
+func (ts *TraceSection) Err() error { return ts.err }
+
+// EmitSpan renders one complete event (plus thread metadata for
+// first-seen tracks and flow events for cross-track parent links).
+// Implements SpanSink; also safe to call with snapshot copies.
+func (ts *TraceSection) EmitSpan(s *Span) {
+	tid := ts.tid(s.Track)
+	ts.appendComplete(tid, s)
+	// Cross-track causal link: flow from the parent's slice to this
+	// span's start. The parent's track was captured at span creation,
+	// so this needs no lookup into (possibly already flushed) spans.
+	if s.Parent != 0 && s.ptrack != "" && s.ptrack != s.Track {
+		ptid := ts.tid(s.ptrack)
+		ts.appendFlow("s", ptid, s.Start, int64(s.ID), false)
+		ts.appendFlow("f", tid, s.Start, int64(s.ID), true)
+	}
+	ts.flush()
+}
+
+func (ts *TraceSection) flush() {
+	if len(ts.buf) == 0 {
+		return
+	}
+	if _, err := ts.w.Write(ts.buf); err != nil && ts.err == nil {
+		ts.err = err
+	}
+	ts.buf = ts.buf[:0]
+}
+
+// tid resolves a track to its thread id, appending the thread_name
+// metadata event on first sight.
+func (ts *TraceSection) tid(track string) int {
+	if id, ok := ts.tids[track]; ok {
+		return id
+	}
+	id := len(ts.tids) + 1
+	ts.tids[track] = id
+	ts.appendMeta(id, "thread_name", track)
+	return id
+}
+
+func (ts *TraceSection) appendMeta(tid int, name, value string) {
+	ts.buf = append(ts.buf, ",\n{\"ph\":\"M\",\"pid\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(ts.pid), 10)
+	if tid > 0 {
+		ts.buf = append(ts.buf, ",\"tid\":"...)
+		ts.buf = strconv.AppendInt(ts.buf, int64(tid), 10)
+	}
+	ts.buf = append(ts.buf, ",\"name\":\""...)
+	ts.buf = append(ts.buf, name...)
+	ts.buf = append(ts.buf, "\",\"args\":{\"name\":"...)
+	ts.buf = strconv.AppendQuote(ts.buf, value)
+	ts.buf = append(ts.buf, "}}"...)
+}
+
+func (ts *TraceSection) appendComplete(tid int, s *Span) {
+	ts.buf = append(ts.buf, ",\n{\"ph\":\"X\",\"pid\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(ts.pid), 10)
+	ts.buf = append(ts.buf, ",\"tid\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(tid), 10)
+	ts.buf = append(ts.buf, ",\"ts\":"...)
+	ts.buf = appendUsec(ts.buf, s.Start)
+	ts.buf = append(ts.buf, ",\"dur\":"...)
+	ts.buf = appendUsec(ts.buf, s.End-s.Start)
+	ts.buf = append(ts.buf, ",\"cat\":"...)
+	ts.buf = strconv.AppendQuote(ts.buf, s.Cat)
+	ts.buf = append(ts.buf, ",\"name\":"...)
+	ts.buf = strconv.AppendQuote(ts.buf, s.Name)
+	ts.buf = append(ts.buf, ",\"args\":{\"id\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(s.ID), 10)
+	if s.Parent != 0 {
+		ts.buf = append(ts.buf, ",\"parent\":"...)
+		ts.buf = strconv.AppendInt(ts.buf, int64(s.Parent), 10)
+	}
+	for _, a := range s.Attrs {
+		ts.buf = append(ts.buf, ',')
+		ts.buf = strconv.AppendQuote(ts.buf, a.Key)
+		ts.buf = append(ts.buf, ':')
+		ts.buf = strconv.AppendQuote(ts.buf, a.Value)
+	}
+	ts.buf = append(ts.buf, "}}"...)
+}
+
+func (ts *TraceSection) appendFlow(ph string, tid int, at time.Duration, id int64, bindEnclosing bool) {
+	ts.buf = append(ts.buf, ",\n{\"ph\":\""...)
+	ts.buf = append(ts.buf, ph...)
+	ts.buf = append(ts.buf, "\",\"pid\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(ts.pid), 10)
+	ts.buf = append(ts.buf, ",\"tid\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, int64(tid), 10)
+	ts.buf = append(ts.buf, ",\"ts\":"...)
+	ts.buf = appendUsec(ts.buf, at)
+	ts.buf = append(ts.buf, ",\"id\":"...)
+	ts.buf = strconv.AppendInt(ts.buf, id, 10)
+	ts.buf = append(ts.buf, ",\"cat\":\"link\",\"name\":\"link\""...)
+	if bindEnclosing {
+		ts.buf = append(ts.buf, ",\"bp\":\"e\""...)
+	}
+	ts.buf = append(ts.buf, '}')
+}
+
+// appendUsec renders a virtual time as fractional microseconds, the
+// unit of the trace-event format, keeping nanosecond precision.
+func appendUsec(b []byte, d time.Duration) []byte {
+	return strconv.AppendFloat(b, float64(d)/1e3, 'f', 3, 64)
+}
+
+// TraceStream writes a complete Chrome trace artifact incrementally:
+// the envelope once, then any number of sections — rendered live via
+// Section, or spliced from pre-rendered section bytes via Append (the
+// sharded-run merge path). Close writes the trailer and flushes.
+type TraceStream struct {
+	bw   *bufio.Writer
+	d    *commaDropper
+	npid int
+}
+
+// NewTraceStream writes the envelope header to w and returns a stream
+// ready for sections.
+func NewTraceStream(w io.Writer) *TraceStream {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(traceHeader)
+	return &TraceStream{bw: bw, d: &commaDropper{w: bw}}
+}
+
+// Section starts the next live section (pids are assigned
+// sequentially). Sections must be written one at a time, in order;
+// concurrent producers should render into buffers with NewTraceSection
+// and splice them with Append instead.
+func (t *TraceStream) Section(scope string) *TraceSection {
+	t.npid++
+	return NewTraceSection(t.d, t.npid, scope)
+}
+
+// Append splices a pre-rendered section byte stream (the output of a
+// TraceSection writing to a buffer or spill file) into the artifact.
+func (t *TraceStream) Append(r io.Reader) error {
+	_, err := io.Copy(t.d, r)
+	return err
+}
+
+// Close writes the trailer and flushes. The stream is unusable after.
+func (t *TraceStream) Close() error {
+	t.bw.WriteString(traceTrailer)
+	return t.bw.Flush()
+}
+
 // WriteChromeTrace emits the collectors' spans as Chrome trace-event
 // JSON ("X" complete events), loadable in Perfetto or chrome://tracing.
 //
@@ -17,136 +220,33 @@ import (
 // tracks additionally get flow ("s"/"f") events so Perfetto draws the
 // arrow, e.g. from a DFK task lane to the worker that ran it.
 //
-// The JSON is written by hand in a fixed field order — no map
-// iteration — so output is byte-identical for identical inputs.
+// Within each process, unpinned spans appear in emission (ID) order
+// and pinned daemon-lifecycle spans follow at the end — the same
+// partition a streaming collector produces (see Collector.Close), so
+// snapshot and streaming runs render byte-identical artifacts. The
+// JSON is written by hand in a fixed field order — no map iteration —
+// so output is byte-identical for identical inputs.
 func WriteChromeTrace(w io.Writer, collectors ...*Collector) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
-	first := true
-	sep := func() {
-		if first {
-			first = false
-			bw.WriteString("\n")
-		} else {
-			bw.WriteString(",\n")
-		}
-	}
+	bw.WriteString(traceHeader)
+	d := &commaDropper{w: bw}
 	for ci, c := range collectors {
 		if c == nil {
 			continue
 		}
-		pid := ci + 1
-		scope := c.Scope()
-		if scope == "" {
-			scope = "env" + itoa(int64(pid))
-		}
-		sep()
-		writeMeta(bw, pid, 0, "process_name", scope)
+		sec := NewTraceSection(d, ci+1, c.Scope())
 		spans := c.Spans()
-		// Tracks become tids in first-seen order.
-		tids := make(map[string]int)
-		tidOf := func(track string) int {
-			if id, ok := tids[track]; ok {
-				return id
+		for i := range spans {
+			if s := &spans[i]; !s.pinned && !s.drop {
+				sec.EmitSpan(s)
 			}
-			id := len(tids) + 1
-			tids[track] = id
-			sep()
-			writeMeta(bw, pid, id, "thread_name", track)
-			return id
-		}
-		byID := make(map[SpanID]*Span, len(spans))
-		for i := range spans {
-			byID[spans[i].ID] = &spans[i]
 		}
 		for i := range spans {
-			s := &spans[i]
-			tid := tidOf(s.Track)
-			sep()
-			writeComplete(bw, pid, tid, s)
-			// Cross-track causal link: flow from the parent's slice to
-			// this span's start.
-			if s.Parent != 0 {
-				if ps, ok := byID[s.Parent]; ok && ps.Track != s.Track {
-					ptid := tidOf(ps.Track)
-					sep()
-					writeFlow(bw, "s", pid, ptid, s.Start, int64(s.ID), false)
-					sep()
-					writeFlow(bw, "f", pid, tid, s.Start, int64(s.ID), true)
-				}
+			if s := &spans[i]; s.pinned && !s.drop {
+				sec.EmitSpan(s)
 			}
 		}
 	}
-	bw.WriteString("\n]}\n")
+	bw.WriteString(traceTrailer)
 	return bw.Flush()
-}
-
-// usec renders a virtual time as fractional microseconds, the unit of
-// the trace-event format, keeping nanosecond precision.
-func usec(d time.Duration) string {
-	return strconv.FormatFloat(float64(d)/1e3, 'f', 3, 64)
-}
-
-func writeQuoted(bw *bufio.Writer, s string) {
-	bw.Write(strconv.AppendQuote(nil, s))
-}
-
-func writeMeta(bw *bufio.Writer, pid, tid int, name, value string) {
-	bw.WriteString("{\"ph\":\"M\",\"pid\":")
-	bw.WriteString(itoa(int64(pid)))
-	if tid > 0 {
-		bw.WriteString(",\"tid\":")
-		bw.WriteString(itoa(int64(tid)))
-	}
-	bw.WriteString(",\"name\":\"")
-	bw.WriteString(name)
-	bw.WriteString("\",\"args\":{\"name\":")
-	writeQuoted(bw, value)
-	bw.WriteString("}}")
-}
-
-func writeComplete(bw *bufio.Writer, pid, tid int, s *Span) {
-	bw.WriteString("{\"ph\":\"X\",\"pid\":")
-	bw.WriteString(itoa(int64(pid)))
-	bw.WriteString(",\"tid\":")
-	bw.WriteString(itoa(int64(tid)))
-	bw.WriteString(",\"ts\":")
-	bw.WriteString(usec(s.Start))
-	bw.WriteString(",\"dur\":")
-	bw.WriteString(usec(s.End - s.Start))
-	bw.WriteString(",\"cat\":")
-	writeQuoted(bw, s.Cat)
-	bw.WriteString(",\"name\":")
-	writeQuoted(bw, s.Name)
-	bw.WriteString(",\"args\":{\"id\":")
-	bw.WriteString(itoa(int64(s.ID)))
-	if s.Parent != 0 {
-		bw.WriteString(",\"parent\":")
-		bw.WriteString(itoa(int64(s.Parent)))
-	}
-	for _, a := range s.Attrs {
-		bw.WriteString(",")
-		writeQuoted(bw, a.Key)
-		bw.WriteString(":")
-		writeQuoted(bw, a.Value)
-	}
-	bw.WriteString("}}")
-}
-
-func writeFlow(bw *bufio.Writer, ph string, pid, tid int, ts time.Duration, id int64, bindEnclosing bool) {
-	bw.WriteString("{\"ph\":\"")
-	bw.WriteString(ph)
-	bw.WriteString("\",\"pid\":")
-	bw.WriteString(itoa(int64(pid)))
-	bw.WriteString(",\"tid\":")
-	bw.WriteString(itoa(int64(tid)))
-	bw.WriteString(",\"ts\":")
-	bw.WriteString(usec(ts))
-	bw.WriteString(",\"id\":")
-	bw.WriteString(itoa(id))
-	bw.WriteString(",\"cat\":\"link\",\"name\":\"link\"")
-	if bindEnclosing {
-		bw.WriteString(",\"bp\":\"e\"")
-	}
-	bw.WriteString("}")
 }

@@ -9,6 +9,18 @@
 // Envs were scheduled onto OS threads — the same contract the harness
 // package guarantees for report sections.
 //
+// Collection runs in one of two modes. In the default snapshot mode
+// every span is retained until export, exactly as before. Attaching a
+// SpanSink (SetSink) switches the collector to streaming mode: ended
+// spans are flushed to the sink incrementally, in span-ID order, and
+// released from memory, so a run's span footprint is bounded by the
+// number of concurrently open spans rather than by run length. Spans
+// pinned with PinSpan (long-lived daemon lifecycles such as htex
+// workers) are parked aside so they never block the flush frontier;
+// they are emitted after all unpinned spans when the collector is
+// Closed — the snapshot exporters apply the same pinned-last partition
+// so both modes render byte-identical artifacts.
+//
 // Every method is nil-receiver safe: a nil *Collector (instrumentation
 // disabled) is a no-op. Hot paths should additionally guard with
 // `if c != nil` before assembling attributes so the disabled path
@@ -16,7 +28,6 @@
 package obs
 
 import (
-	"sort"
 	"time"
 )
 
@@ -57,6 +68,20 @@ type Span struct {
 	Start  time.Duration
 	End    time.Duration // -1 while open
 	Attrs  []Attr
+
+	// ptrack is the parent span's track, captured at creation so
+	// exporters can draw cross-track flow arrows without holding the
+	// parent span in memory (the parent may already be flushed by the
+	// time a streaming sink renders the child).
+	ptrack string
+	// pinned marks a long-lived daemon lifecycle span (PinSpan): it is
+	// excluded from the streaming flush frontier and emitted after all
+	// unpinned spans, in both streaming and snapshot export.
+	pinned bool
+	// drop marks a span excluded by deterministic sampling
+	// (SetSampleMod); it is retained and visible to listeners and
+	// Spans(), but skipped by sinks and trace export.
+	drop bool
 }
 
 // Duration returns End-Start (negative while the span is open).
@@ -72,15 +97,45 @@ func (s Span) Attr(key string) string {
 	return ""
 }
 
+// SpanSink receives spans released by a streaming collector. EmitSpan
+// is called from sim context, in span-ID order for unpinned spans
+// (pinned spans arrive last, at Close); the *Span is borrowed and only
+// valid for the duration of the call. Spans still open at Close arrive
+// clamped to the final virtual time, mirroring Spans() snapshots.
+type SpanSink interface {
+	EmitSpan(s *Span)
+}
+
 // Collector accumulates spans and metrics for one Env.
 type Collector struct {
-	clock  Clock
-	scope  string
-	spans  []Span
-	open   map[SpanID]int // open span ID -> index into spans
-	nextID SpanID
-	reg    *Registry
-	onEnd  []func(Span)
+	clock Clock
+	scope string
+
+	// spans is the retained window in span-ID order: everything ever
+	// recorded in snapshot mode, only the unflushed suffix when a sink
+	// is attached. spans[i].ID == winBase + SpanID(i); entries below
+	// head have been flushed and are reclaimed by compaction.
+	spans   []Span
+	head    int
+	winBase SpanID
+
+	// parked holds pinned spans the flush frontier has skipped, in ID
+	// order; parkedIdx resolves their IDs for EndSpan after the window
+	// copy is compacted away.
+	parked    []Span
+	parkedIdx map[SpanID]int
+
+	nextID      SpanID
+	openCount   int
+	maxRetained int
+
+	sink      SpanSink
+	closed    bool
+	sampleMod uint32
+
+	reg     *Registry
+	onStart []func(Span)
+	onEnd   []func(Span)
 
 	// Scheduler instruments, resolved once so the per-event Dispatched
 	// callback is a single field increment.
@@ -92,9 +147,9 @@ type Collector struct {
 // New creates a collector over the given clock.
 func New(clock Clock) *Collector {
 	c := &Collector{
-		clock: clock,
-		open:  make(map[SpanID]int),
-		reg:   NewRegistry(clock),
+		clock:   clock,
+		winBase: 1,
+		reg:     NewRegistry(clock),
 	}
 	c.cDispatched = c.reg.Counter("devent_events_dispatched_total")
 	c.cSpawned = c.reg.Counter("devent_procs_spawned_total")
@@ -118,6 +173,14 @@ func (c *Collector) Scope() string {
 	return c.scope
 }
 
+// Now returns the current virtual time of the collector's clock.
+func (c *Collector) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.clock.Now()
+}
+
 // Metrics returns the collector's registry (nil for a nil collector;
 // the nil registry is itself a no-op).
 func (c *Collector) Metrics() *Registry {
@@ -125,6 +188,58 @@ func (c *Collector) Metrics() *Registry {
 		return nil
 	}
 	return c.reg
+}
+
+// SetSink attaches a streaming sink and switches the collector to
+// streaming mode: ended unpinned spans are flushed to the sink in
+// span-ID order and released from memory. Attach the sink before the
+// run starts; call Close at run end to flush the remainder. A nil sink
+// returns to snapshot-only retention for spans recorded afterwards.
+func (c *Collector) SetSink(sink SpanSink) {
+	if c == nil {
+		return
+	}
+	c.sink = sink
+	if sink != nil {
+		c.advance()
+	}
+}
+
+// Streaming reports whether a sink is attached.
+func (c *Collector) Streaming() bool { return c != nil && c.sink != nil }
+
+// SetSampleMod enables deterministic 1-in-n sampling of sink emission:
+// a root span (Parent == 0) is kept iff fnv32a(Track) % n == 0, and
+// every descendant inherits its root's verdict, so sampled traces keep
+// whole causal trees. Pinned spans are always kept. n <= 1 disables
+// sampling. The rule depends only on span content — never on wall
+// clock or randomness — so sampled output is byte-deterministic.
+// Sampling affects sinks and trace export only; Spans(), listeners,
+// and leak checks always see every span.
+func (c *Collector) SetSampleMod(n int) {
+	if c == nil {
+		return
+	}
+	if n <= 1 {
+		c.sampleMod = 0
+		return
+	}
+	c.sampleMod = uint32(n)
+}
+
+// span resolves a live span by ID: parked pinned spans first (their
+// window copy may be stale or compacted away), then the retained
+// window. Returns nil for flushed or unknown IDs.
+func (c *Collector) span(id SpanID) *Span {
+	if i, ok := c.parkedIdx[id]; ok {
+		return &c.parked[i]
+	}
+	if id >= c.winBase {
+		if i := int(id - c.winBase); i < len(c.spans) {
+			return &c.spans[i]
+		}
+	}
+	return nil
 }
 
 // StartSpan opens a span at the current virtual time and returns its
@@ -135,12 +250,34 @@ func (c *Collector) StartSpan(cat, name, track string, parent SpanID, attrs ...A
 	}
 	c.nextID++
 	id := c.nextID
-	c.spans = append(c.spans, Span{
+	s := Span{
 		ID: id, Parent: parent, Cat: cat, Name: name, Track: track,
 		Start: c.clock.Now(), End: -1, Attrs: attrs,
-	})
-	c.open[id] = len(c.spans) - 1
+	}
+	c.stamp(&s)
+	c.spans = append(c.spans, s)
+	c.openCount++
+	c.noteRetained()
+	for _, fn := range c.onStart {
+		fn(s)
+	}
 	return id
+}
+
+// stamp captures creation-time derived fields: the parent's track (for
+// cross-track flow rendering after the parent is flushed) and the
+// sampling verdict.
+func (c *Collector) stamp(s *Span) {
+	if s.Parent != 0 {
+		if ps := c.span(s.Parent); ps != nil {
+			s.ptrack = ps.Track
+			s.drop = ps.drop
+			return
+		}
+	}
+	if c.sampleMod > 1 {
+		s.drop = fnv32a(s.Track)%c.sampleMod != 0
+	}
 }
 
 // EndSpan closes the span at the current virtual time, appending any
@@ -150,17 +287,19 @@ func (c *Collector) EndSpan(id SpanID, attrs ...Attr) {
 	if c == nil || id == 0 {
 		return
 	}
-	i, ok := c.open[id]
-	if !ok {
+	s := c.span(id)
+	if s == nil || s.End >= 0 {
 		return
 	}
-	delete(c.open, id)
-	s := &c.spans[i]
 	s.End = c.clock.Now()
 	if len(attrs) > 0 {
 		s.Attrs = append(s.Attrs, attrs...)
 	}
+	c.openCount--
 	c.fireEnd(*s)
+	if c.sink != nil {
+		c.advance()
+	}
 }
 
 // AddSpan records a span retroactively with explicit start/end times
@@ -179,9 +318,132 @@ func (c *Collector) AddSpan(cat, name, track string, parent SpanID, start, end t
 		ID: id, Parent: parent, Cat: cat, Name: name, Track: track,
 		Start: start, End: end, Attrs: attrs,
 	}
+	c.stamp(&s)
 	c.spans = append(c.spans, s)
+	c.noteRetained()
 	c.fireEnd(s)
+	if c.sink != nil {
+		c.advance()
+	}
 	return id
+}
+
+// PinSpan marks a span as a long-lived daemon lifecycle (e.g. an htex
+// worker): the streaming flush frontier parks it aside instead of
+// waiting for it to end, and exporters render it after all unpinned
+// spans. Pin immediately after StartSpan, before recording children.
+// Pinned spans are exempt from sampling.
+func (c *Collector) PinSpan(id SpanID) {
+	if c == nil || id == 0 {
+		return
+	}
+	if s := c.span(id); s != nil {
+		s.pinned = true
+		s.drop = false
+	}
+}
+
+// advance moves the flush frontier: emits ended unpinned spans in ID
+// order, parks pinned spans, and stops at the first still-open
+// unpinned span. Consumed prefix is reclaimed by compaction.
+func (c *Collector) advance() {
+	if c.closed {
+		return
+	}
+	for c.head < len(c.spans) {
+		s := &c.spans[c.head]
+		if s.pinned {
+			c.park(*s)
+		} else if s.End >= 0 {
+			c.emit(s)
+		} else {
+			break
+		}
+		c.head++
+	}
+	if c.head == len(c.spans) {
+		c.spans = c.spans[:0]
+		c.head = 0
+		c.winBase = c.nextID + 1
+	} else if c.head >= 1024 && c.head*2 >= len(c.spans) {
+		n := copy(c.spans, c.spans[c.head:])
+		c.spans = c.spans[:n]
+		c.winBase += SpanID(c.head)
+		c.head = 0
+	}
+}
+
+func (c *Collector) park(s Span) {
+	if c.parkedIdx == nil {
+		c.parkedIdx = make(map[SpanID]int)
+	}
+	c.parkedIdx[s.ID] = len(c.parked)
+	c.parked = append(c.parked, s)
+}
+
+func (c *Collector) emit(s *Span) {
+	if !s.drop {
+		c.sink.EmitSpan(s)
+	}
+}
+
+func (c *Collector) noteRetained() {
+	if r := len(c.spans) - c.head + len(c.parked); r > c.maxRetained {
+		c.maxRetained = r
+	}
+}
+
+// MaxRetained returns the high-water mark of spans held in memory at
+// once. In snapshot mode this equals Len(); with a sink attached it is
+// bounded by concurrently open spans plus pinned daemons — the number
+// the scale scenario asserts stays flat as task count grows.
+func (c *Collector) MaxRetained() int {
+	if c == nil {
+		return 0
+	}
+	return c.maxRetained
+}
+
+// Close flushes a streaming collector at run end: remaining unpinned
+// spans first (clamped to the final virtual time if still open), then
+// every pinned span, all in ID order within each group — the same
+// partition the snapshot exporters use. Spans stay retained and
+// unclamped in the collector itself, so CheckClosed and Spans() keep
+// working after Close. Further spans must not be recorded after Close;
+// no-op without a sink, on repeat calls, and on a nil collector.
+func (c *Collector) Close() {
+	if c == nil || c.sink == nil || c.closed {
+		return
+	}
+	c.advance()
+	c.closed = true
+	now := c.clock.Now()
+	for i := c.head; i < len(c.spans); i++ {
+		if s := c.spans[i]; !s.pinned {
+			clampSpan(&s, now)
+			c.emit(&s)
+		}
+	}
+	for i := range c.parked {
+		s := c.parked[i]
+		clampSpan(&s, now)
+		c.emit(&s)
+	}
+	for i := c.head; i < len(c.spans); i++ {
+		if s := c.spans[i]; s.pinned {
+			clampSpan(&s, now)
+			c.emit(&s)
+		}
+	}
+}
+
+func clampSpan(s *Span, now time.Duration) {
+	if s.End < s.Start {
+		s.End = now
+		if s.End < s.Start {
+			s.End = s.Start
+		}
+	}
 }
 
 func (c *Collector) fireEnd(s Span) {
@@ -198,12 +460,23 @@ func (c *Collector) OnSpanEnd(fn func(Span)) {
 	}
 }
 
-// Len returns the number of recorded spans.
+// OnSpanStart registers a listener called with every span opened by
+// StartSpan (not AddSpan, whose spans are already complete when
+// recorded), in registration order, from sim context. Streaming
+// analyzers use it to track open windows without holding the span.
+func (c *Collector) OnSpanStart(fn func(Span)) {
+	if c != nil {
+		c.onStart = append(c.onStart, fn)
+	}
+}
+
+// Len returns the number of spans ever recorded, including spans
+// already flushed to a sink.
 func (c *Collector) Len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.spans)
+	return int(c.nextID)
 }
 
 // OpenSpans returns how many spans are still open.
@@ -211,48 +484,64 @@ func (c *Collector) OpenSpans() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.open)
+	return c.openCount
 }
 
 // CheckClosed returns the spans still open, in start order: the
 // open-span leak check. At run end only daemon lifecycles that the
 // drain legitimately interrupts (htex worker spans) should remain;
-// anything else is instrumentation that forgot to EndSpan.
+// anything else is instrumentation that forgot to EndSpan. Works
+// identically in streaming mode — open spans are never flushed, and
+// Close clamps only the copies it emits — so leak detection keeps full
+// fidelity with a sink attached.
 func (c *Collector) CheckClosed() []Span {
-	if c == nil || len(c.open) == 0 {
+	if c == nil || c.openCount == 0 {
 		return nil
 	}
-	idxs := make([]int, 0, len(c.open))
-	for _, i := range c.open {
-		idxs = append(idxs, i)
+	out := make([]Span, 0, c.openCount)
+	for i := range c.parked {
+		if c.parked[i].End < 0 {
+			out = append(out, c.parked[i])
+		}
 	}
-	sort.Ints(idxs)
-	out := make([]Span, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, c.spans[i])
+	for i := c.head; i < len(c.spans); i++ {
+		if c.spans[i].End < 0 {
+			out = append(out, c.spans[i])
+		}
 	}
 	return out
 }
 
-// Spans returns a snapshot of all spans in emission order. Spans still
-// open (e.g. daemon worker lifecycles when the simulation drains) are
+// Spans returns a snapshot of the retained spans in emission (ID)
+// order: all spans ever recorded in snapshot mode; only parked pinned
+// spans plus the unflushed window in streaming mode (flushed spans
+// have left memory — that is the point of streaming). Spans still open
+// (e.g. daemon worker lifecycles when the simulation drains) are
 // clamped to end at the current virtual time, so every snapshot
 // satisfies End >= Start.
 func (c *Collector) Spans() []Span {
 	if c == nil {
 		return nil
 	}
-	out := append([]Span(nil), c.spans...)
 	now := c.clock.Now()
+	out := make([]Span, 0, len(c.parked)+len(c.spans)-c.head)
+	out = append(out, c.parked...)
+	out = append(out, c.spans[c.head:]...)
 	for i := range out {
-		if out[i].End < out[i].Start {
-			out[i].End = now
-			if out[i].End < out[i].Start {
-				out[i].End = out[i].Start
-			}
-		}
+		clampSpan(&out[i], now)
 	}
 	return out
+}
+
+// fnv32a is the 32-bit FNV-1a hash, inlined so sampling stays
+// allocation-free and dependency-free.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // ProcSpawned implements the devent Observer hook.

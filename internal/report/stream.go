@@ -1,0 +1,159 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// streamedCell is one instrumented grid cell run in streaming mode:
+// its spans were flushed into a pre-rendered trace section (pid =
+// cell position, matching WriteChromeTrace) as they ended, and an
+// analyze.Streamer attributed its tasks incrementally. The collector
+// survives only as the metrics registry plus the bounded retained
+// window — nothing in the cell grows with span count except the
+// rendered section bytes themselves.
+type streamedCell struct {
+	col *obs.Collector
+	st  *analyze.Streamer
+	sec *obs.TraceSection
+	buf bytes.Buffer
+}
+
+// attach returns the core.Options.OnCollector hook wiring this cell:
+// trace-section sink, optional deterministic sampler, and streamer,
+// installed before the run's first span.
+func (sc *streamedCell) attach(pid int, scope string, sampleMod int) func(*obs.Collector) {
+	return func(c *obs.Collector) {
+		sc.col = c
+		sc.sec = obs.NewTraceSection(&sc.buf, pid, scope)
+		c.SetSink(sc.sec)
+		if sampleMod > 1 {
+			c.SetSampleMod(sampleMod)
+		}
+		sc.st = analyze.NewStreamer(c)
+	}
+}
+
+// observedStreams reruns the ObservedCollectors grid (fig45 cells then
+// Table 1 rows, same order, same scopes) in streaming mode. Cells run
+// concurrently through the harness; each renders into its own buffer,
+// so the assembled artifacts are byte-identical at any parallelism —
+// and, with sampleMod <= 1, byte-identical to the snapshot path.
+func observedStreams(completions int, slo string, sampleMod int) ([]*streamedCell, error) {
+	if completions <= 0 {
+		completions = 100
+	}
+	modes := []core.Mode{core.ModeTimeshare, core.ModeMPS, core.ModeMIG}
+	const procsPerMode = 4
+	nGrid := len(modes) * procsPerMode
+	grid, err := harness.Map(nGrid, func(i int) (*streamedCell, error) {
+		m, n := modes[i/procsPerMode], i%procsPerMode+1
+		scope := fmt.Sprintf("fig45/%s/p%d", m, n)
+		sc := &streamedCell{}
+		r, err := core.RunMultiplex(core.MultiplexConfig{
+			Mode: m, Processes: n, Completions: completions, Observe: true, SLO: slo,
+			OnCollector: sc.attach(i+1, scope, sampleMod),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("report: streamed %s n=%d: %w", m, n, err)
+		}
+		r.Obs.SetScope(scope)
+		r.Obs.Close()
+		return sc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t1 := make([]*streamedCell, len(core.Table1Modes))
+	for i := range t1 {
+		t1[i] = &streamedCell{}
+	}
+	// The table1 scope is assigned inside the run; the section needs it
+	// up front, and the mode order is fixed, so it is known here.
+	_, t1cols, err := core.RunTable1ObservedHook(true, slo, func(i int, c *obs.Collector) {
+		t1[i].attach(nGrid+i+1, "table1/"+string(core.Table1Modes[i]), sampleMod)(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range t1cols {
+		c.Close()
+	}
+	return append(grid, t1...), nil
+}
+
+// ObservabilityStreamed is Observability in streaming mode: the same
+// instrumented rerun, but every cell's spans are flushed to its trace
+// section as they end instead of being retained for a final snapshot,
+// and the artifact is assembled by splicing the pre-rendered sections.
+// With sampleMod <= 1 the output is byte-identical to Observability;
+// sampleMod n > 1 deterministically keeps ~1/n of task trees in the
+// trace (metrics are unaffected). Either writer may be nil.
+func ObservabilityStreamed(traceW, promW io.Writer, completions, sampleMod int) error {
+	cells, err := observedStreams(completions, "", sampleMod)
+	if err != nil {
+		return err
+	}
+	if traceW != nil {
+		ts := obs.NewTraceStream(traceW)
+		for _, sc := range cells {
+			if err := sc.sec.Err(); err != nil {
+				return err
+			}
+			if err := ts.Append(bytes.NewReader(sc.buf.Bytes())); err != nil {
+				return err
+			}
+		}
+		if err := ts.Close(); err != nil {
+			return err
+		}
+	}
+	if promW != nil {
+		cols := make([]*obs.Collector, len(cells))
+		for i, sc := range cells {
+			cols[i] = sc.col
+		}
+		if err := obs.WritePrometheus(promW, cols...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttributionArtifactsStreamed is AttributionArtifacts in streaming
+// mode: attribution, flamegraph stacks, and the alert stream come from
+// incremental analyzers driven by the span stream, byte-identical to
+// the snapshot artifacts. Any writer may be nil.
+func AttributionArtifactsStreamed(attribW, flameW, alertsW io.Writer, completions int, slo string) error {
+	cells, err := observedStreams(completions, slo, 0)
+	if err != nil {
+		return err
+	}
+	streamers := make([]*analyze.Streamer, len(cells))
+	for i, sc := range cells {
+		streamers[i] = sc.st
+	}
+	rep := analyze.BuildReport(streamers...)
+	if attribW != nil {
+		if err := rep.WriteJSON(attribW); err != nil {
+			return err
+		}
+	}
+	if flameW != nil {
+		if err := analyze.WriteFolded(flameW, rep); err != nil {
+			return err
+		}
+	}
+	if alertsW != nil {
+		if err := analyze.WriteAlertsStreamed(alertsW, streamers...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

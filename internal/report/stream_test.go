@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestStreamedArtifactsMatchSnapshot is the regression gate for the
+// streaming export path: every artifact — trace, metrics, attribution
+// JSON, folded flame stacks, and SLO alerts — must be byte-identical
+// whether the instrumented grid streams spans through per-cell sinks
+// or snapshots them, and identical again when the streamed run uses a
+// different harness worker count. With streaming off (the default CLI
+// configuration) the snapshot path here is exactly what ships, so this
+// also pins the artifact bytes across the refactor.
+func TestStreamedArtifactsMatchSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full instrumented grid in -short mode")
+	}
+	const completions = 2
+	const slo = "llama-complete:2s:0.9"
+	type artifacts struct{ trace, prom, attrib, flame, alerts []byte }
+	render := func(workers int, streamed bool) artifacts {
+		prev := harness.SetParallelism(workers)
+		defer harness.SetParallelism(prev)
+		var a artifacts
+		var tr, pr, at, fl, al bytes.Buffer
+		var err error
+		if streamed {
+			err = ObservabilityStreamed(&tr, &pr, completions, 0)
+		} else {
+			err = Observability(&tr, &pr, completions)
+		}
+		if err != nil {
+			t.Fatalf("observability (workers=%d streamed=%v): %v", workers, streamed, err)
+		}
+		if streamed {
+			err = AttributionArtifactsStreamed(&at, &fl, &al, completions, slo)
+		} else {
+			err = AttributionArtifacts(&at, &fl, &al, completions, slo)
+		}
+		if err != nil {
+			t.Fatalf("attribution (workers=%d streamed=%v): %v", workers, streamed, err)
+		}
+		a.trace, a.prom = tr.Bytes(), pr.Bytes()
+		a.attrib, a.flame, a.alerts = at.Bytes(), fl.Bytes(), al.Bytes()
+		return a
+	}
+	check := func(label string, want, got artifacts) {
+		t.Helper()
+		for _, c := range []struct {
+			name      string
+			want, got []byte
+		}{
+			{"trace", want.trace, got.trace},
+			{"metrics", want.prom, got.prom},
+			{"attrib", want.attrib, got.attrib},
+			{"flame", want.flame, got.flame},
+			{"alerts", want.alerts, got.alerts},
+		} {
+			if len(c.want) == 0 {
+				t.Fatalf("%s: empty %s baseline", label, c.name)
+			}
+			if !bytes.Equal(c.want, c.got) {
+				t.Errorf("%s: %s differs (%d vs %d bytes):\n%s",
+					label, c.name, len(c.want), len(c.got), firstDiff(c.want, c.got))
+			}
+		}
+	}
+	snap := render(1, false)
+	// The SLO spec must actually fire, or the alerts comparison is
+	// trivially empty-vs-empty.
+	if !bytes.Contains(snap.alerts, []byte("llama-complete")) {
+		t.Fatalf("no alerts in baseline output:\n%s", snap.alerts)
+	}
+	check("streamed sequential vs snapshot", snap, render(1, true))
+	// Transitively pins streamed parallel == streamed sequential too.
+	check("streamed parallel vs snapshot", snap, render(4, true))
+}
