@@ -2,19 +2,22 @@
 # staticcheck when installed, test); `make race` reruns the tests under
 # the race detector — the parallel harness and the chaos suite must
 # stay race-clean — and runs as its own CI job. `make cover` prints
-# per-package statement coverage. `make bench` regenerates the kernel
-# and paper benchmark records as `go test -json` event streams
-# (BENCH_devent.json, BENCH_paper.json), which benchstat and x/perf
-# tooling both consume, and validates them with cmd/benchjson.
+# per-package statement coverage. `make bench` regenerates the kernel,
+# paper, and observability benchmark records as `go test -json` event
+# streams (BENCH_devent.json, BENCH_paper.json, BENCH_obs.json), which
+# benchstat and x/perf tooling both consume, and validates them with
+# cmd/benchjson.
 # `make bench-diff` compares the committed records against freshly
 # regenerated ones via benchstat (skipped when benchstat is absent).
 # `make scale` runs a modest snapshot-vs-streaming throughput compare
 # of the sharded million-task scenario. `make attrib` smoke-tests the
 # latency attribution pipeline end to end on the Table 1 bursts.
+# `make serve-smoke` boots the live observability server on a scale
+# run and curls its endpoints — the CI smoke for the -serve plane.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-check bench-diff scale attrib clean
+.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-obs bench-check bench-diff scale attrib serve-smoke clean
 
 check: build vet staticcheck test
 
@@ -50,7 +53,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s ./internal/faas/htex
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/repart
 
-bench: bench-devent bench-paper bench-check
+bench: bench-devent bench-paper bench-obs bench-check
 
 bench-devent:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent ./internal/obs > BENCH_devent.json
@@ -58,10 +61,16 @@ bench-devent:
 bench-paper:
 	$(GO) test -json -run '^$$' -bench=. -benchtime=1x . > BENCH_paper.json
 
+# The telemetry-plane record: tsdb scrape/query benchmarks (the scrape
+# path must stay 0 allocs/op — BenchmarkScrape enforces it) plus the
+# live-server package.
+bench-obs:
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/obs/tsdb ./internal/obs/live > BENCH_obs.json
+
 # Fail on malformed or benchmark-free records so a truncated `go test
 # -json` stream can't land as the current trajectory point.
 bench-check:
-	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json
+	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json BENCH_obs.json
 
 # Compare the committed records (HEAD) against freshly regenerated
 # ones. benchstat is optional locally (no network installs in the dev
@@ -69,7 +78,7 @@ bench-check:
 bench-diff: bench
 	@if command -v benchstat >/dev/null 2>&1; then \
 		tmp=$$(mktemp -d); \
-		for f in BENCH_devent BENCH_paper; do \
+		for f in BENCH_devent BENCH_paper BENCH_obs; do \
 			git show HEAD:$$f.json > $$tmp/$$f.old.json 2>/dev/null || continue; \
 			$(GO) run ./cmd/benchjson text $$tmp/$$f.old.json > $$tmp/$$f.old.txt; \
 			$(GO) run ./cmd/benchjson text $$f.json > $$tmp/$$f.new.txt; \
@@ -87,6 +96,29 @@ bench-diff: bench
 scale:
 	$(GO) run ./cmd/paperbench scale -tasks 50000 -shards 4 -compare
 
+# End-to-end smoke of the live observability plane: run a small scale
+# scenario with -serve, poll /healthz until the run reports done, then
+# curl /metrics (must be non-empty Prometheus text) and /progress.
+# The server lingers after the run by design; the trap kills it.
+serve-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/paperbench-smoke ./cmd/paperbench; \
+	/tmp/paperbench-smoke scale -tasks 20000 -shards 2 -stream -serve 127.0.0.1:9190 >/dev/null 2>&1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	ok=0; \
+	for i in $$(seq 1 60); do \
+		if curl -fsS http://127.0.0.1:9190/healthz 2>/dev/null | grep -q '"phase":"done"'; then ok=1; break; fi; \
+		sleep 1; \
+	done; \
+	test $$ok = 1 || { echo "serve-smoke: /healthz never reported done"; exit 1; }; \
+	curl -fsS http://127.0.0.1:9190/progress; echo; \
+	curl -fsS http://127.0.0.1:9190/metrics > /tmp/serve-smoke.metrics; \
+	grep -q '^# TYPE faas_tasks_completed_total counter' /tmp/serve-smoke.metrics; \
+	curl -fsS 'http://127.0.0.1:9190/spans?scope=scale/shard0' > /tmp/serve-smoke.spans; \
+	test -s /tmp/serve-smoke.spans; \
+	echo "serve-smoke: ok (metrics $$(wc -l < /tmp/serve-smoke.metrics) lines, spans $$(wc -l < /tmp/serve-smoke.spans) events)"
+
 # End-to-end smoke test of the attribution pipeline: run the Table 1
 # bursts instrumented, render the folded-stack artifact, and print the
 # hottest stacks.
@@ -96,4 +128,4 @@ attrib:
 	@sort -t' ' -k2 -rn FLAME_table1.folded | head -5
 
 clean:
-	rm -f BENCH_devent.json BENCH_paper.json ATTRIB_table1.json FLAME_table1.folded
+	rm -f BENCH_devent.json BENCH_paper.json BENCH_obs.json ATTRIB_table1.json FLAME_table1.folded

@@ -17,14 +17,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/moldesign"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/live"
+	"repro/internal/obs/tsdb"
 	"repro/internal/repart"
 	"repro/internal/report"
 	"repro/internal/rightsize"
@@ -75,6 +79,36 @@ func writeArtifact(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// startServe binds the live observability server when addr is
+// non-empty (nil server otherwise — every call site is nil-tolerant).
+func startServe(addr string) (*live.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv := live.NewServer()
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "gpufaas: live observability on http://%s\n", bound)
+	srv.Progress().SetPhase("running")
+	return srv, nil
+}
+
+// serveLinger keeps the completed run's telemetry served until the
+// process is interrupted, so the endpoints stay curl-able.
+func serveLinger(srv *live.Server) {
+	if srv == nil {
+		return
+	}
+	srv.Progress().SetPhase("done")
+	fmt.Fprintln(os.Stderr, "gpufaas: run complete; still serving — interrupt (Ctrl-C) to exit")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
 }
 
 // attribFlags holds the per-run attribution/SLO flags shared by the
@@ -196,6 +230,7 @@ func runMultiplex(args []string) error {
 	stream := fs.Bool("stream", false, "stream the -trace spans to disk as they end (bounded memory; byte-identical output)")
 	sample := fs.Int("sample", 0, "with -stream, keep ~1/N of task trees in the trace")
 	chaos := fs.String("chaos", "", "seeded fault-injection spec, e.g. seed=7,rate=0.5")
+	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address, e.g. 127.0.0.1:9190")
 	attrib := addAttribFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,6 +242,10 @@ func runMultiplex(args []string) error {
 	if *stream && attribObserve {
 		return fmt.Errorf("-stream is incompatible with -attrib/-flame/-alerts here; use paperbench -stream for streamed attribution")
 	}
+	srv, err := startServe(*serveAddr)
+	if err != nil {
+		return err
+	}
 	cfg := core.MultiplexConfig{
 		Mode:         core.Mode(*mode),
 		Processes:    *procs,
@@ -214,6 +253,21 @@ func runMultiplex(args []string) error {
 		OutputTokens: *tokens,
 		Observe:      *traceOut != "" || *metricsOut != "" || attribObserve,
 		SLO:          *attrib.slo,
+	}
+	// -serve: attach the run's series store and, when no snapshot
+	// export needs the retained spans (or the trace already streams),
+	// a live span tail.
+	var tail *live.SpanTail
+	if srv != nil {
+		scope := fmt.Sprintf("multiplex/%s/p%d", cfg.Mode, cfg.Processes)
+		streamedTrace := *stream && *traceOut != ""
+		if streamedTrace || (*traceOut == "" && !attribObserve) {
+			tail = srv.Tail(scope, 0)
+		}
+		cfg.TSDB = &tsdb.Config{}
+		cfg.OnPlatform = func(pl *core.Platform) {
+			srv.AttachDB(scope, pl.TSDB)
+		}
 	}
 	// Streaming trace: the section renders to the file as spans end;
 	// only the envelope is added afterwards via the stream splice.
@@ -230,11 +284,17 @@ func runMultiplex(args []string) error {
 		streamBuf = bufio.NewWriterSize(f, 1<<20)
 		cfg.OnCollector = func(c *obs.Collector) {
 			streamSec = obs.NewTraceSection(streamBuf, 1, fmt.Sprintf("multiplex/%s/p%d", cfg.Mode, cfg.Processes))
-			c.SetSink(streamSec)
+			if tail != nil {
+				c.SetSink(live.Tee(streamSec, tail))
+			} else {
+				c.SetSink(streamSec)
+			}
 			if *sample > 1 {
 				c.SetSampleMod(*sample)
 			}
 		}
+	} else if tail != nil {
+		cfg.OnCollector = func(c *obs.Collector) { c.SetSink(tail) }
 	}
 	if *chaos != "" {
 		spec, err := fault.ParseSpec(*chaos)
@@ -246,6 +306,9 @@ func runMultiplex(args []string) error {
 	r, err := core.RunMultiplex(cfg)
 	if err != nil {
 		return err
+	}
+	if tail != nil && streamSec == nil {
+		r.Obs.Close() // flush parked daemon spans into the live tail
 	}
 	if *traceOut != "" {
 		if streamSec != nil {
@@ -302,6 +365,7 @@ func runMultiplex(args []string) error {
 			return fmt.Errorf("task-state invariant violated: %w", err)
 		}
 	}
+	serveLinger(srv)
 	return nil
 }
 
@@ -367,6 +431,7 @@ func runRepart(args []string) error {
 	static := fs.String("static", "", "run a static baseline instead: timeshare | mps-default | mps | mig | vgpu")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file for this run")
 	metricsOut := fs.String("metrics", "", "write Prometheus text metrics for this run")
+	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address, e.g. 127.0.0.1:9190")
 	attrib := addAttribFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -375,6 +440,10 @@ func runRepart(args []string) error {
 		return fmt.Errorf("-spec and -static are mutually exclusive")
 	}
 	attribObserve, err := attrib.validate()
+	if err != nil {
+		return err
+	}
+	srv, err := startServe(*serveAddr)
 	if err != nil {
 		return err
 	}
@@ -391,9 +460,27 @@ func runRepart(args []string) error {
 		}
 		cfg.Repart = &spec
 	}
+	// -serve: the platform hook attaches the run's series store under
+	// the scope RunPhaseShift sets; the live span tail attaches only
+	// when no snapshot export needs the retained spans.
+	var tail *live.SpanTail
+	if srv != nil {
+		cfg.TSDB = &tsdb.Config{}
+		wantTail := *traceOut == "" && !attribObserve
+		cfg.OnPlatform = func(pl *core.Platform) {
+			srv.AttachDB(pl.Obs.Scope(), pl.TSDB)
+			if wantTail {
+				tail = srv.Tail(pl.Obs.Scope(), 0)
+				pl.Obs.SetSink(tail)
+			}
+		}
+	}
 	r, err := core.RunPhaseShift(cfg)
 	if err != nil {
 		return err
+	}
+	if tail != nil {
+		r.Obs.Close() // flush parked daemon spans into the live tail
 	}
 	if *traceOut != "" {
 		if err := writeArtifact(*traceOut, func(w *os.File) error {
@@ -431,6 +518,7 @@ func runRepart(args []string) error {
 		r.Latencies.Percentile(95).Seconds(), r.Latencies.Max().Seconds())
 	fmt.Printf("  transitions:   %d\n", r.Transitions)
 	fmt.Printf("  weight cache:  %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+	serveLinger(srv)
 	return nil
 }
 

@@ -15,13 +15,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/moldesign"
+	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/live"
+	"repro/internal/obs/tsdb"
 	"repro/internal/repart"
 	"repro/internal/report"
 )
@@ -95,6 +100,14 @@ flags:
   -sample N        with -stream, deterministically keep ~1/N of task
                    trees in the trace (metrics and attribution see
                    everything regardless)
+  -serve ADDR      serve live observability over HTTP on ADDR while
+                   the run executes (e.g. -serve 127.0.0.1:9190):
+                   /metrics, /api/series, /spans, /progress, /healthz,
+                   /debug/pprof. The scale artifact additionally gets
+                   per-shard virtual-time series stores and live span
+                   tails (tails need -stream). The process keeps
+                   serving after the run completes — interrupt it to
+                   exit. Without -serve nothing changes.
 
 scale flags:
   -tasks N         total tasks (default 1000000)
@@ -141,6 +154,7 @@ func main() {
 	arrival := fs.Float64("arrival", 0, "scale: per-shard offered load in tasks/sec (default 8000)")
 	seed := fs.Int64("seed", 0, "scale: arrival/service RNG seed (default 1)")
 	compare := fs.Bool("compare", false, "scale: run snapshot then streaming and report deltas")
+	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address, e.g. 127.0.0.1:9190")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -174,6 +188,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: chaos enabled (%s)\n", spec.String())
 	}
 	harness.SetParallelism(*parallel)
+	// -serve: bind the live observability server before the run so its
+	// endpoints answer while the scenarios execute.
+	var srv *live.Server
+	if *serveAddr != "" {
+		srv = live.NewServer()
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: -serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: live observability on http://%s\n", bound)
+		srv.Progress().SetPhase("running")
+	}
 	w := os.Stdout
 	var err error
 	switch artifact {
@@ -204,11 +231,27 @@ func main() {
 	case "attrib":
 		err = report.Attribution(w, *completions)
 	case "scale":
-		err = report.Scale(w, report.ScaleOptions{
+		opts := report.ScaleOptions{
 			Tasks: *tasks, Shards: *shards, Workers: *workers, Window: *window,
 			ArrivalRate: *arrival, Seed: *seed, SampleMod: *sample,
 			Stream: *stream, Compare: *compare, TracePath: *traceOut,
-		})
+		}
+		if srv != nil {
+			// Per-shard series stores, batched progress, and (with
+			// -stream) a live span tail teed into each shard's sink.
+			srv.Progress().SetShards(core.ScaleConfig{Tasks: *tasks, Shards: *shards}.WithDefaults().Shards)
+			opts.Telemetry = &core.ScaleTelemetry{
+				TSDB: &tsdb.Config{},
+				OnShardDB: func(shard int, db *tsdb.DB) {
+					srv.AttachDB(fmt.Sprintf("scale/shard%d", shard), db)
+				},
+				Progress: srv.Progress(),
+			}
+			opts.WrapSink = func(shard int, base obs.SpanSink) obs.SpanSink {
+				return live.Tee(base, srv.Tail(fmt.Sprintf("scale/shard%d", shard), 0))
+			}
+		}
+		err = report.Scale(w, opts)
 	case "all":
 		err = report.All(w, *completions)
 	default:
@@ -227,6 +270,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+	if srv != nil {
+		// Keep serving the completed run's telemetry (CI and humans
+		// curl the endpoints after the fact) until interrupted.
+		srv.Progress().SetPhase("done")
+		fmt.Fprintln(os.Stderr, "paperbench: run complete; still serving — interrupt (Ctrl-C) to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
 	}
 }
 

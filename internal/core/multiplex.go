@@ -10,6 +10,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/simgpu"
 )
 
@@ -72,6 +73,13 @@ type MultiplexConfig struct {
 	// OnCollector is forwarded to Options.OnCollector: streaming
 	// exporters hook the run's collector before any span exists.
 	OnCollector func(*obs.Collector)
+	// TSDB forwards to Options.TSDB: attach a virtual-time series
+	// store scraping the run's registry (nil = off).
+	TSDB *tsdb.Config
+	// OnPlatform, when set, is called with the assembled platform
+	// before the workload starts — the live observability plane uses
+	// it to pick up the run's tsdb handle and collector.
+	OnPlatform func(*Platform)
 	// Chaos enables seeded fault injection for the run (nil falls
 	// back to the process-wide SetChaos spec). Under chaos the run
 	// tolerates terminally failed completions — counted in
@@ -151,12 +159,16 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 		Observe:     c.Observe,
 		SLO:         c.SLO,
 		OnCollector: c.OnCollector,
+		TSDB:        c.TSDB,
 		Chaos:       c.Chaos,
 	})
 	if err != nil {
 		return nil, err
 	}
 	pl.Obs.SetScope(fmt.Sprintf("multiplex/%s/p%d", c.Mode, c.Processes))
+	if c.OnPlatform != nil {
+		c.OnPlatform(pl)
+	}
 	dev := pl.Devices[0]
 	hostBW := dev.Spec().HostLoadBW
 	model := c.Model

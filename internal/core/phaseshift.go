@@ -11,6 +11,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/repart"
 	"repro/internal/simgpu"
 	"repro/internal/weightcache"
@@ -65,6 +66,13 @@ type PhaseShiftConfig struct {
 	// SLO, when non-empty, attaches the burn-rate monitor (see
 	// Options.SLO for the spec format).
 	SLO string
+	// TSDB forwards to Options.TSDB: attach a virtual-time series
+	// store scraping the run's registry (nil = off).
+	TSDB *tsdb.Config
+	// OnPlatform, when set, is called with the assembled platform
+	// before the workload starts — the live observability plane uses
+	// it to pick up the run's tsdb handle and collector.
+	OnPlatform func(*Platform)
 }
 
 func (c PhaseShiftConfig) withDefaults() PhaseShiftConfig {
@@ -135,6 +143,7 @@ func RunPhaseShift(cfg PhaseShiftConfig) (*PhaseShiftResult, error) {
 		RetryBackoffMax: 4 * time.Second,
 		Observe:         c.Observe,
 		SLO:             c.SLO,
+		TSDB:            c.TSDB,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +153,9 @@ func RunPhaseShift(cfg PhaseShiftConfig) (*PhaseShiftResult, error) {
 		label = "repart"
 	}
 	pl.Obs.SetScope("phaseshift/" + label)
+	if c.OnPlatform != nil {
+		c.OnPlatform(pl)
+	}
 	dev := pl.Devices[0]
 	hostBW := dev.Spec().HostLoadBW
 	model := llm.LLaMa27B()

@@ -22,6 +22,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/tsdb"
 	"repro/internal/simgpu"
 	"repro/internal/trace"
 )
@@ -59,6 +60,15 @@ type Options struct {
 	// The monitor is read-only — it emits alert spans and counters but
 	// never steers scheduling or repartitioning.
 	SLO string
+	// TSDB, when set, attaches a virtual-time time-series store over
+	// the collector's registry: a scrape daemon samples every
+	// instrument at the configured interval while the run executes,
+	// Run takes a final scrape after the queue drains, and the handle
+	// lands in Platform.TSDB for windowed queries and the live HTTP
+	// plane. With SLO also set, the burn-rate monitor computes its
+	// windows from tsdb event series (identical alert stream, plus a
+	// queryable slo:burn signal). Nil keeps the seed behavior exactly.
+	TSDB *tsdb.Config
 	// NoHistory disables whole-run retrospection so memory stays
 	// bounded by in-flight work instead of run length: the DFK drops
 	// completed task records, no Gantt trace bridge is installed, and
@@ -132,6 +142,10 @@ type Platform struct {
 	// SLOMon is the attached SLO burn-rate monitor (nil unless
 	// Options.SLO is set); Run closes it when the simulation drains.
 	SLOMon *analyze.Monitor
+	// TSDB is the attached time-series store (nil unless Options.TSDB
+	// is set); Run starts its scrape daemon and stops it when the
+	// workflow completes.
+	TSDB *tsdb.DB
 	// Injector drives fault injection (nil when chaos is off).
 	Injector *fault.Injector
 	// Checker watches every task for the exactly-one-terminal-state
@@ -213,12 +227,15 @@ func NewPlatform(opts Options) (*Platform, error) {
 		})
 		pl.Monitor.Attach(dfk)
 	}
+	if o.TSDB != nil {
+		pl.TSDB = tsdb.New(collector.Metrics(), env, *o.TSDB)
+	}
 	if o.SLO != "" {
 		rules, err := analyze.ParseSLOSpec(o.SLO)
 		if err != nil {
 			return nil, err
 		}
-		pl.SLOMon = analyze.NewMonitor(collector, env, rules)
+		pl.SLOMon = analyze.NewMonitorTSDB(collector, env, rules, pl.TSDB)
 	}
 	if o.Chaos != nil {
 		inj := fault.New(env, *o.Chaos, collector)
@@ -302,17 +319,24 @@ func (pl *Platform) Run(main func(p *devent.Proc) error) error {
 	if pl.Injector != nil {
 		pl.Injector.Start()
 	}
+	// The scrape daemon holds a pending timer, so it must stop when the
+	// workflow completes or the queue would never drain.
+	pl.TSDB.Start(pl.Env)
 	var mainErr error
 	pl.Env.Spawn("main", func(p *devent.Proc) {
 		mainErr = main(p)
 		if pl.Injector != nil {
 			pl.Injector.Stop()
 		}
+		pl.TSDB.Stop()
 	})
 	if err := pl.Env.Run(); err != nil {
 		return err
 	}
 	// Flush SLO alert windows still burning when the simulation drains.
 	pl.SLOMon.Close()
+	// One final scrape at drain time captures the run's end state
+	// (including any alert counters the flush just bumped).
+	pl.TSDB.Scrape()
 	return mainErr
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/simgpu"
 )
 
@@ -56,6 +57,34 @@ type ScaleConfig struct {
 	// memory is bounded by the retained window instead of the span
 	// count. Nil keeps snapshot collection.
 	Sinks []obs.SpanSink
+	// Telemetry, when non-nil, attaches the live observability plane:
+	// per-shard tsdb stores and wall-side progress callbacks. Nil
+	// keeps the run byte-identical to the seed.
+	Telemetry *ScaleTelemetry
+}
+
+// ScaleProgress receives completion callbacks from a running scale
+// scenario, on the harness workers driving the shards —
+// implementations must be safe for concurrent use and must not touch
+// any shard's virtual state.
+type ScaleProgress interface {
+	ShardStarted(shard int)
+	TasksDone(n int)
+	ShardFinished(shard int)
+}
+
+// ScaleTelemetry wires a scale run into the live observability plane.
+type ScaleTelemetry struct {
+	// TSDB, when non-nil, gives every shard platform its own
+	// virtual-time series store (see Options.TSDB).
+	TSDB *tsdb.Config
+	// OnShardDB is called with each shard's store right after its
+	// platform assembles, before any task runs — attach it to the
+	// HTTP server here. Called from the shard's harness worker.
+	OnShardDB func(shard int, db *tsdb.DB)
+	// Progress, when non-nil, receives shard lifecycle and batched
+	// task-completion callbacks.
+	Progress ScaleProgress
 }
 
 // WithDefaults returns the config with every unset field filled in —
@@ -171,15 +200,27 @@ type shardScaleOut struct {
 // CPU-only executor, optionally streaming its spans to sink.
 func runScaleShard(cfg ScaleConfig, shard, tasks int, sink obs.SpanSink) (shardScaleOut, error) {
 	sr := shardScaleOut{ShardScaleResult: ShardScaleResult{Shard: shard, Tasks: tasks}}
+	var tel ScaleTelemetry
+	if cfg.Telemetry != nil {
+		tel = *cfg.Telemetry
+	}
 	pl, err := NewPlatform(Options{
 		// One small device keeps per-shard setup cheap; the scenario
 		// never touches it (pure CPU microtasks).
 		DeviceSpecs: []simgpu.DeviceSpec{simgpu.A100SXM480GB()},
 		CPUWorkers:  cfg.Workers,
 		NoHistory:   true,
+		TSDB:        tel.TSDB,
 	})
 	if err != nil {
 		return sr, err
+	}
+	if tel.OnShardDB != nil && pl.TSDB != nil {
+		tel.OnShardDB(shard, pl.TSDB)
+	}
+	if tel.Progress != nil {
+		tel.Progress.ShardStarted(shard)
+		defer tel.Progress.ShardFinished(shard)
 	}
 	if sink != nil {
 		pl.Obs.SetSink(sink)
@@ -197,12 +238,24 @@ func runScaleShard(cfg ScaleConfig, shard, tasks int, sink obs.SpanSink) (shardS
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(shard)))
 		window := make([]*faas.Future, 0, cfg.Window)
 		sr.lats = make([]time.Duration, 0, tasks)
+		// Progress batches completions so the wall-side mutex is taken
+		// once per batch, not once per task.
+		const progressBatch = 1024
+		unreported := 0
+		note := func() {
+			unreported++
+			if unreported >= progressBatch && tel.Progress != nil {
+				tel.Progress.TasksDone(unreported)
+				unreported = 0
+			}
+		}
 		await := func(f *faas.Future) error {
 			if _, err := f.Result(p); err != nil {
 				return err
 			}
 			t := f.Task()
 			sr.lats = append(sr.lats, t.EndTime-t.SubmitTime)
+			note()
 			return nil
 		}
 		for i := 0; i < tasks; i++ {
@@ -221,6 +274,9 @@ func runScaleShard(cfg ScaleConfig, shard, tasks int, sink obs.SpanSink) (shardS
 			if err := await(f); err != nil {
 				return err
 			}
+		}
+		if unreported > 0 && tel.Progress != nil {
+			tel.Progress.TasksDone(unreported)
 		}
 		return nil
 	})

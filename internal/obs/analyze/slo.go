@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 )
 
 // Rule is one latency objective: at least Target fraction of an app's
@@ -72,12 +73,24 @@ type sloEvent struct {
 	bad bool
 }
 
-// appState tracks one rule's sliding window and active alert.
+// sloSeriesCap bounds the per-app tsdb event series backing a
+// db-based sliding window. A window holding more events than this is
+// clipped (and counted in slo_window_clipped_total); size it above the
+// densest window the scenario produces.
+var sloSeriesCap = 1 << 16
+
+// appState tracks one rule's sliding window and active alert. The
+// window lives either in the in-memory events list (classic mode) or
+// in a tsdb event series (when the monitor is db-backed); the alert
+// state machine is identical in both.
 type appState struct {
 	rule   Rule
 	events []sloEvent
 	head   int // index of the oldest live event
 	bad    int
+
+	evSeries   *tsdb.Series // per-task outcomes (0 good / 1 bad)
+	burnSeries *tsdb.Series // burn rate after each event
 
 	alertActive bool
 	alertStart  time.Duration
@@ -116,6 +129,27 @@ func NewMonitor(c *obs.Collector, clk obs.Clock, rules []Rule) *Monitor {
 	return m
 }
 
+// NewMonitorTSDB attaches a monitor whose sliding windows live in db
+// event series instead of in-memory lists: per app, "slo:events"
+// records each terminal task outcome (0 good, 1 bad) at its end time
+// and "slo:burn" the burn rate after it. Alert semantics are identical
+// to NewMonitor — the burn fraction is just computed from windowed
+// series queries — but the signal becomes queryable while the run is
+// live (db.Latest("slo:burn", ...) is the reusable control input for
+// autoscalers and the HTTP plane). A nil db yields a classic monitor.
+func NewMonitorTSDB(c *obs.Collector, clk obs.Clock, rules []Rule, db *tsdb.DB) *Monitor {
+	m := NewMonitor(c, clk, rules)
+	if m == nil || db == nil {
+		return m
+	}
+	for _, app := range m.order {
+		st := m.apps[app]
+		st.evSeries = db.EventSeries("slo:events", sloSeriesCap, obs.L("app", app))
+		st.burnSeries = db.EventSeries("slo:burn", sloSeriesCap, obs.L("app", app))
+	}
+	return m
+}
+
 // burn returns the current burn rate: the fraction of the error
 // budget (1-target) consumed by the window's bad fraction. burn >= 1
 // means the objective is being violated.
@@ -125,6 +159,54 @@ func (st *appState) burn() float64 {
 		return 0
 	}
 	badFrac := float64(st.bad) / float64(n)
+	return badFrac / (1 - st.rule.Target)
+}
+
+// record adds one terminal outcome at its event time, evicting
+// anything that fell out of the sliding window, and reports whether
+// the window is still complete (a clipped tsdb ring degrades burn to
+// an estimate over what's retained).
+func (st *appState) record(at time.Duration, bad bool) (complete bool) {
+	if st.evSeries != nil {
+		v := 0.0
+		if bad {
+			v = 1
+		}
+		st.evSeries.Append(at, v)
+		_, complete = st.evSeries.CountSince(at - st.rule.Window)
+		return complete
+	}
+	st.events = append(st.events, sloEvent{at: at, bad: bad})
+	if bad {
+		st.bad++
+	}
+	cutoff := at - st.rule.Window
+	for st.head < len(st.events) && st.events[st.head].at < cutoff {
+		if st.events[st.head].bad {
+			st.bad--
+		}
+		st.head++
+	}
+	if st.head > 0 && st.head == len(st.events) {
+		st.events = st.events[:0]
+		st.head = 0
+	}
+	return true
+}
+
+// burnAt returns the burn rate over the window ending at the given
+// event time. In db-backed mode the bad count is a windowed sum of
+// 0/1 samples — exact integers, so the quotient is bit-identical to
+// the list computation over the same events.
+func (st *appState) burnAt(at time.Duration) float64 {
+	if st.evSeries == nil {
+		return st.burn()
+	}
+	n, _ := st.evSeries.CountSince(at - st.rule.Window)
+	if n == 0 {
+		return 0
+	}
+	badFrac := st.evSeries.SumSince(at-st.rule.Window) / float64(n)
 	return badFrac / (1 - st.rule.Target)
 }
 
@@ -142,23 +224,11 @@ func (m *Monitor) onSpan(s obs.Span) {
 		verdict = "bad"
 	}
 	m.c.Metrics().Counter("slo_events_total", obs.L("app", st.rule.App), obs.L("verdict", verdict)).Inc()
-	st.events = append(st.events, sloEvent{at: s.End, bad: !good})
-	if !good {
-		st.bad++
+	if complete := st.record(s.End, !good); !complete {
+		m.c.Metrics().Counter("slo_window_clipped_total", obs.L("app", st.rule.App)).Inc()
 	}
-	// Evict events older than the sliding window.
-	cutoff := s.End - st.rule.Window
-	for st.head < len(st.events) && st.events[st.head].at < cutoff {
-		if st.events[st.head].bad {
-			st.bad--
-		}
-		st.head++
-	}
-	if st.head > 0 && st.head == len(st.events) {
-		st.events = st.events[:0]
-		st.head = 0
-	}
-	burn := st.burn()
+	burn := st.burnAt(s.End)
+	st.burnSeries.Append(s.End, burn)
 	switch {
 	case burn >= 1 && !st.alertActive:
 		st.alertActive = true

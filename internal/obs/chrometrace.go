@@ -16,6 +16,11 @@ import (
 const traceHeader = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
 const traceTrailer = "\n]}\n"
 
+// TraceHeader is the artifact envelope prefix, exported so the live
+// /spans endpoint can serve a raw stream whose bytes prefix-match the
+// snapshot export.
+const TraceHeader = traceHeader
+
 // commaDropper strips the leading comma from the first non-empty write
 // it sees, turning a concatenation of ",\n"-prefixed events into a
 // valid JSON array body.

@@ -261,3 +261,47 @@ func TestCheckClosed(t *testing.T) {
 		t.Error("nil collector should report no open spans")
 	}
 }
+
+// TestPrometheusLint runs the exported exposition lint over a full
+// export with counters, gauges, labelled histograms, and
+// escape-needing label values — the same checker the live HTTP
+// server's /metrics tests use.
+func TestPrometheusLint(t *testing.T) {
+	c := New(&fakeClock{})
+	c.SetScope("lint/scope")
+	m := c.Metrics()
+	m.Counter("events_total", L("kind", `quo"te`)).Add(3)
+	m.Counter("events_total", L("kind", "plain")).Inc()
+	m.Gauge("depth", L("q", "a\nb")).Set(2.5)
+	h := m.Histogram("lat_seconds", []float64{0.1, 1, 10}, L("app", "x"))
+	h.Observe(0.05)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("lint: %v\n%s", err, buf.String())
+	}
+}
+
+// TestPrometheusLintRejects feeds the lint malformed expositions to
+// make sure it is not vacuously green.
+func TestPrometheusLintRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample before header": "x_total{} 1\n",
+		"unsorted families":    "# TYPE b counter\nb 1\n# TYPE a counter\na 1\n",
+		"duplicate inf": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\n" + `h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+		"descending bounds": "# TYPE h histogram\n" +
+			`h_bucket{le="5"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"bad quoting": "# TYPE c counter\n" + `c{k="v} 1` + "\n",
+	} {
+		if err := LintPrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, text)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress tracks run completion for /progress and /healthz. The sim
+// side reports through the mutator methods (which satisfy
+// core.ScaleProgress); HTTP handlers read consistent snapshots. Wall
+// times here are honest wall clock — this is supervision metadata, not
+// simulation state.
+type Progress struct {
+	mu          sync.Mutex
+	phase       string
+	shardsTotal int
+	shardsDone  int
+	running     map[int]bool
+	tasksDone   int64
+	startWall   time.Time
+	updateWall  time.Time
+}
+
+// ProgressSnapshot is the /progress JSON document.
+type ProgressSnapshot struct {
+	Phase         string  `json:"phase"`
+	ShardsTotal   int     `json:"shards_total,omitempty"`
+	ShardsDone    int     `json:"shards_done"`
+	ShardsRunning []int   `json:"shards_running,omitempty"`
+	TasksDone     int64   `json:"tasks_done"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
+// NewProgress starts in phase "idle".
+func NewProgress() *Progress {
+	return &Progress{phase: "idle", running: make(map[int]bool), startWall: time.Now()}
+}
+
+// SetPhase moves the run through its lifecycle ("idle" → "running" →
+// "done", or any caller-chosen label).
+func (p *Progress) SetPhase(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = phase
+	p.updateWall = time.Now()
+	p.mu.Unlock()
+}
+
+// SetShards declares the total shard count before the run starts.
+func (p *Progress) SetShards(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.shardsTotal = n
+	p.mu.Unlock()
+}
+
+// ShardStarted marks one shard in flight.
+func (p *Progress) ShardStarted(shard int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running[shard] = true
+	p.updateWall = time.Now()
+	p.mu.Unlock()
+}
+
+// ShardFinished marks one shard complete.
+func (p *Progress) ShardFinished(shard int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.running, shard)
+	p.shardsDone++
+	p.updateWall = time.Now()
+	p.mu.Unlock()
+}
+
+// TasksDone adds n completed tasks (batched by the caller — per
+// scheduling window, not per task).
+func (p *Progress) TasksDone(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.tasksDone += int64(n)
+	p.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy for serving.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{Phase: "idle"}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := ProgressSnapshot{
+		Phase:       p.phase,
+		ShardsTotal: p.shardsTotal,
+		ShardsDone:  p.shardsDone,
+		TasksDone:   p.tasksDone,
+		WallSeconds: time.Since(p.startWall).Seconds(),
+	}
+	for s := range p.running {
+		snap.ShardsRunning = append(snap.ShardsRunning, s)
+	}
+	if len(snap.ShardsRunning) > 1 {
+		sortInts(snap.ShardsRunning)
+	}
+	return snap
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

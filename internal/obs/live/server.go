@@ -1,0 +1,377 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// Server is the observability endpoint set. Attach tsdb handles and
+// span tails as the run is assembled, then Start (real listener) or
+// Handler (httptest). All attachments are safe before or during
+// serving.
+type Server struct {
+	mu       sync.Mutex
+	dbs      []scopedDB
+	tails    []*SpanTail
+	progress *Progress
+	srv      *http.Server
+	ln       net.Listener
+}
+
+type scopedDB struct {
+	scope string
+	db    *tsdb.DB
+}
+
+// NewServer returns an empty server with a fresh Progress tracker.
+func NewServer() *Server {
+	return &Server{progress: NewProgress()}
+}
+
+// AttachDB registers a tsdb handle under a scope label; its latest
+// samples appear on /metrics with scope="<scope>" and its series
+// become queryable via /api/series?scope=<scope>.
+func (s *Server) AttachDB(scope string, db *tsdb.DB) {
+	if s == nil || db == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dbs = append(s.dbs, scopedDB{scope, db})
+	s.mu.Unlock()
+}
+
+// Tail creates and registers a span tail for /spans. Pids are assigned
+// sequentially in registration order, matching the collectors'
+// positions in a snapshot Chrome-trace export of the same run.
+func (s *Server) Tail(scope string, maxBytes int) *SpanTail {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	t := NewSpanTail(len(s.tails)+1, scope, maxBytes)
+	s.tails = append(s.tails, t)
+	s.mu.Unlock()
+	return t
+}
+
+// Progress returns the server's progress tracker (never nil on a
+// non-nil server).
+func (s *Server) Progress() *Progress {
+	if s == nil {
+		return nil
+	}
+	return s.progress
+}
+
+// Handler builds the route set: /metrics, /api/series, /spans,
+// /progress, /healthz, and /debug/pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/series", s.handleSeries)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. Safe when never started.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) snapshotDBs() []scopedDB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]scopedDB(nil), s.dbs...)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	e := obs.NewExposition()
+	for _, sd := range s.snapshotDBs() {
+		e.Add(sd.db.Exposition(obs.L("scope", sd.scope))...)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := e.WriteText(w); err != nil {
+		// Too late for a status code once bytes are out; surface in-band.
+		fmt.Fprintf(w, "\n# ERROR %v\n", err)
+	}
+}
+
+// seriesResponse is the /api/series JSON shape. Scalar functions fill
+// Value; fn=raw fills Samples; no name lists every retained series.
+type seriesResponse struct {
+	Scope   string            `json:"scope,omitempty"`
+	Name    string            `json:"name,omitempty"`
+	Fn      string            `json:"fn,omitempty"`
+	OK      bool              `json:"ok"`
+	Value   *float64          `json:"value,omitempty"`
+	Samples []tsdb.Sample     `json:"samples,omitempty"`
+	Series  []tsdb.SeriesInfo `json:"series,omitempty"`
+	LastNS  time.Duration     `json:"last_ns"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// reserved /api/series query parameters; everything else is a label
+// matcher.
+var reservedParams = map[string]bool{
+	"scope": true, "name": true, "fn": true, "window": true,
+	"q": true, "from": true, "to": true,
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	resp := seriesResponse{Scope: q.Get("scope"), Name: q.Get("name"), Fn: q.Get("fn")}
+	fail := func(code int, format string, args ...any) {
+		resp.Error = fmt.Sprintf(format, args...)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	}
+
+	dbs := s.snapshotDBs()
+	if len(dbs) == 0 {
+		fail(http.StatusServiceUnavailable, "no tsdb attached")
+		return
+	}
+	db := dbs[0].db
+	if resp.Scope == "" {
+		resp.Scope = dbs[0].scope
+	} else {
+		db = nil
+		for _, sd := range dbs {
+			if sd.scope == resp.Scope {
+				db = sd.db
+				break
+			}
+		}
+		if db == nil {
+			fail(http.StatusNotFound, "unknown scope %q", resp.Scope)
+			return
+		}
+	}
+	resp.LastNS = db.LastTime()
+
+	if resp.Name == "" {
+		resp.Series = db.List()
+		resp.OK = true
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+		return
+	}
+
+	// Deterministic label set from the remaining query parameters.
+	var keys []string
+	for k := range q {
+		if !reservedParams[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var labels []obs.Label
+	for _, k := range keys {
+		labels = append(labels, obs.L(k, q.Get(k)))
+	}
+
+	window := 60 * time.Second
+	if ws := q.Get("window"); ws != "" {
+		var err error
+		if window, err = time.ParseDuration(ws); err != nil || window <= 0 {
+			fail(http.StatusBadRequest, "bad window %q", ws)
+			return
+		}
+	}
+
+	var v float64
+	var ok bool
+	switch fn := resp.Fn; fn {
+	case "", "latest":
+		var smp tsdb.Sample
+		if smp, ok = db.Latest(resp.Name, labels...); ok {
+			v = smp.V
+		}
+		resp.Fn = "latest"
+	case "rate":
+		v, ok = db.Rate(resp.Name, window, labels...)
+	case "avg":
+		v, ok = db.Avg(resp.Name, window, labels...)
+	case "max":
+		v, ok = db.Max(resp.Name, window, labels...)
+	case "quantile":
+		qv := 0.95
+		if qs := q.Get("q"); qs != "" {
+			if _, err := fmt.Sscanf(qs, "%g", &qv); err != nil || qv < 0 || qv > 1 {
+				fail(http.StatusBadRequest, "bad q %q", qs)
+				return
+			}
+		}
+		v, ok = db.Quantile(resp.Name, qv, window, labels...)
+	case "raw":
+		var from, to time.Duration
+		if fs := q.Get("from"); fs != "" {
+			from, _ = time.ParseDuration(fs)
+		}
+		if ts := q.Get("to"); ts != "" {
+			to, _ = time.ParseDuration(ts)
+		}
+		resp.Samples = db.Samples(resp.Name, from, to, labels...)
+		ok = len(resp.Samples) > 0
+	default:
+		fail(http.StatusBadRequest, "unknown fn %q (want latest|rate|avg|max|quantile|raw)", fn)
+		return
+	}
+	resp.OK = ok
+	if ok && resp.Fn != "raw" {
+		resp.Value = &v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+func (s *Server) tailFor(scope string) *SpanTail {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tails) == 0 {
+		return nil
+	}
+	if scope == "" {
+		return s.tails[0]
+	}
+	for _, t := range s.tails {
+		if t.scope == scope {
+			return t
+		}
+	}
+	return nil
+}
+
+// handleSpans serves the retained span tail. format=ndjson (default)
+// emits one trace event per line; format=raw emits the same bytes the
+// snapshot Chrome-trace export starts with (header + events, no
+// trailer) so a client can diff the live stream against the artifact.
+// follow=1 keeps the connection open and streams future events (slow
+// followers drop events rather than stalling the simulation).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	tail := s.tailFor(r.URL.Query().Get("scope"))
+	if tail == nil {
+		http.Error(w, "no span tail attached", http.StatusNotFound)
+		return
+	}
+	raw := r.URL.Query().Get("format") == "raw"
+	follow := r.URL.Query().Get("follow") == "1"
+
+	chunks, evicted := tail.Snapshot()
+	w.Header().Set("X-Spans-Evicted", fmt.Sprintf("%d", evicted))
+	var write func(chunk []byte) error
+	if raw {
+		w.Header().Set("Content-Type", "application/json")
+		// A tail that lost its head can't reproduce the artifact prefix.
+		if evicted > 0 {
+			http.Error(w, "tail window evicted events; raw prefix unavailable", http.StatusGone)
+			return
+		}
+		if _, err := w.Write([]byte(obs.TraceHeader)); err != nil {
+			return
+		}
+		first := true
+		write = func(chunk []byte) error {
+			if first && len(chunk) > 0 && chunk[0] == ',' {
+				chunk = chunk[1:]
+				first = false
+			}
+			_, err := w.Write(chunk)
+			return err
+		}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Events render as ",\n{...}" groups; swapping the separator
+		// for a newline yields NDJSON (attr values are quoted, so no
+		// raw newlines exist inside events).
+		write = func(chunk []byte) error {
+			line := strings.ReplaceAll(string(chunk), ",\n{", "\n{")
+			_, err := fmt.Fprint(w, strings.TrimPrefix(line, "\n"))
+			if err == nil {
+				_, err = fmt.Fprint(w, "\n")
+			}
+			return err
+		}
+	}
+	for _, c := range chunks {
+		if write(c) != nil {
+			return
+		}
+	}
+	if f, fok := w.(http.Flusher); fok {
+		f.Flush()
+	}
+	if !follow {
+		return
+	}
+	ch, cancel := tail.follow(256)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case chunk := <-ch:
+			if write(chunk) != nil {
+				return
+			}
+			if f, fok := w.(http.Flusher); fok {
+				f.Flush()
+			}
+		}
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.progress.Snapshot()) //nolint:errcheck
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.progress.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok", "phase": snap.Phase}) //nolint:errcheck
+}

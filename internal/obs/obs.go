@@ -125,9 +125,10 @@ type Collector struct {
 	parked    []Span
 	parkedIdx map[SpanID]int
 
-	nextID      SpanID
-	openCount   int
-	maxRetained int
+	nextID        SpanID
+	openCount     int
+	maxRetained   int
+	retainedNoted int
 
 	sink      SpanSink
 	closed    bool
@@ -142,6 +143,16 @@ type Collector struct {
 	cDispatched *Counter
 	cSpawned    *Counter
 	gProcs      *Gauge
+
+	// Collector self-telemetry, pre-resolved for the same reason: the
+	// observability pipeline observes itself, so the tsdb can chart
+	// span volume, flush progress, sampling drops, and the retained
+	// window without touching the span path's allocation budget.
+	cSpanStarted *Counter
+	cSpanEnded   *Counter
+	cSpanFlushed *Counter
+	cSampledOut  *Counter
+	gRetained    *Gauge
 }
 
 // New creates a collector over the given clock.
@@ -154,6 +165,11 @@ func New(clock Clock) *Collector {
 	c.cDispatched = c.reg.Counter("devent_events_dispatched_total")
 	c.cSpawned = c.reg.Counter("devent_procs_spawned_total")
 	c.gProcs = c.reg.Gauge("devent_procs_live")
+	c.cSpanStarted = c.reg.Counter("obs_spans_started_total")
+	c.cSpanEnded = c.reg.Counter("obs_spans_ended_total")
+	c.cSpanFlushed = c.reg.Counter("obs_spans_flushed_total")
+	c.cSampledOut = c.reg.Counter("obs_spans_sampled_out_total")
+	c.gRetained = c.reg.Gauge("obs_spans_retained_peak")
 	return c
 }
 
@@ -257,6 +273,7 @@ func (c *Collector) StartSpan(cat, name, track string, parent SpanID, attrs ...A
 	c.stamp(&s)
 	c.spans = append(c.spans, s)
 	c.openCount++
+	c.cSpanStarted.Inc()
 	c.noteRetained()
 	for _, fn := range c.onStart {
 		fn(s)
@@ -296,6 +313,7 @@ func (c *Collector) EndSpan(id SpanID, attrs ...Attr) {
 		s.Attrs = append(s.Attrs, attrs...)
 	}
 	c.openCount--
+	c.cSpanEnded.Inc()
 	c.fireEnd(*s)
 	if c.sink != nil {
 		c.advance()
@@ -320,6 +338,8 @@ func (c *Collector) AddSpan(cat, name, track string, parent SpanID, start, end t
 	}
 	c.stamp(&s)
 	c.spans = append(c.spans, s)
+	c.cSpanStarted.Inc()
+	c.cSpanEnded.Inc()
 	c.noteRetained()
 	c.fireEnd(s)
 	if c.sink != nil {
@@ -382,14 +402,25 @@ func (c *Collector) park(s Span) {
 }
 
 func (c *Collector) emit(s *Span) {
-	if !s.drop {
-		c.sink.EmitSpan(s)
+	if s.drop {
+		c.cSampledOut.Inc()
+		return
 	}
+	c.cSpanFlushed.Inc()
+	c.sink.EmitSpan(s)
 }
 
 func (c *Collector) noteRetained() {
 	if r := len(c.spans) - c.head + len(c.parked); r > c.maxRetained {
 		c.maxRetained = r
+		// The gauge trails the exact high-water by at most 1/16: a
+		// snapshot-mode window grows with every span, and appending a
+		// step-history sample each time would make the gauge history
+		// itself scale with run length. MaxRetained stays exact.
+		if r >= c.retainedNoted+c.retainedNoted/16+1 {
+			c.retainedNoted = r
+			c.gRetained.Set(float64(r))
+		}
 	}
 }
 

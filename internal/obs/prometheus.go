@@ -9,6 +9,152 @@ import (
 	"strings"
 )
 
+// PromSeries is one sample line (or histogram line group) of the text
+// exposition: the labels must already include any scope dimension the
+// producer wants. For counters and gauges only Value is used; for
+// histograms Bounds/Cum/Sum/Count describe the cumulative buckets
+// (Bounds finite ascending, Cum parallel cumulative counts, Count the
+// +Inf cumulative total).
+type PromSeries struct {
+	Labels []Label
+	Value  float64
+	Bounds []float64
+	Cum    []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// PromFamily is one named metric's series of a fixed kind.
+type PromFamily struct {
+	Name   string
+	Kind   Kind
+	Series []PromSeries
+}
+
+// Exposition accumulates families from any number of producers (live
+// registries, tsdb snapshots) and renders them as Prometheus text
+// exposition: one # TYPE header per family, families sorted by name,
+// series sorted by rendered label signature — byte-identical output
+// for identical inputs. Merging the same family name with conflicting
+// kinds is an error, reported by WriteText.
+type Exposition struct {
+	fams map[string]*expoFam
+	err  error
+}
+
+type expoEntry struct {
+	labels string // rendered sorted label set, the sort key
+	s      PromSeries
+}
+
+type expoFam struct {
+	kind    Kind
+	entries []expoEntry
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{fams: make(map[string]*expoFam)}
+}
+
+// Add merges families into the exposition. Labels are sorted by key at
+// this point; series order within a family does not matter.
+func (e *Exposition) Add(fams ...PromFamily) {
+	for _, f := range fams {
+		mf, ok := e.fams[f.Name]
+		if !ok {
+			mf = &expoFam{kind: f.Kind}
+			e.fams[f.Name] = mf
+		} else if mf.kind != f.Kind && e.err == nil {
+			e.err = fmt.Errorf("obs: metric %q is %v in one collector, %v in another", f.Name, mf.kind, f.Kind)
+		}
+		for _, s := range f.Series {
+			set := sortedLabels(s.Labels)
+			s.Labels = set
+			mf.entries = append(mf.entries, expoEntry{labels: renderLabels(set), s: s})
+		}
+	}
+}
+
+// WriteText renders the accumulated families, returning the first
+// merge error if any occurred.
+func (e *Exposition) WriteText(w io.Writer) error {
+	if e.err != nil {
+		return e.err
+	}
+	names := make([]string, 0, len(e.fams))
+	for n := range e.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		mf := e.fams[name]
+		sort.Slice(mf.entries, func(i, j int) bool { return mf.entries[i].labels < mf.entries[j].labels })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, mf.kind)
+		for _, en := range mf.entries {
+			s := en.s
+			switch mf.kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", name, en.labels, ftoa(s.Value))
+			case KindHistogram:
+				for i, b := range s.Bounds {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+						renderLabels(sortedLabels(s.Labels, L("le", ftoa(b)))), s.Cum[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+					renderLabels(sortedLabels(s.Labels, L("le", "+Inf"))), s.Count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, en.labels, ftoa(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, en.labels, s.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// HistogramPromSeries snapshots a live histogram into the exposition
+// model: cumulative counts over the finite bounds (non-finite bounds,
+// possible only in a hand-built histogram, fold into the next finite
+// bucket exactly as the legacy renderer did).
+func HistogramPromSeries(h *Histogram, labels []Label) PromSeries {
+	s := PromSeries{Labels: labels, Sum: h.Sum(), Count: h.Count()}
+	cum := uint64(0)
+	counts := h.BucketCounts()
+	for i, b := range h.Bounds() {
+		cum += counts[i]
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			continue
+		}
+		s.Bounds = append(s.Bounds, b)
+		s.Cum = append(s.Cum, cum)
+	}
+	return s
+}
+
+// registryFamilies snapshots every instrument of a registry as
+// exposition families, appending extra labels (e.g. the scope) to each
+// series.
+func registryFamilies(reg *Registry, extra ...Label) []PromFamily {
+	var fams []PromFamily
+	var cur *PromFamily
+	reg.VisitSeries(func(name string, kind Kind, inst any) {
+		if cur == nil || cur.Name != name {
+			fams = append(fams, PromFamily{Name: name, Kind: kind})
+			cur = &fams[len(fams)-1]
+		}
+		switch v := inst.(type) {
+		case *Counter:
+			cur.Series = append(cur.Series, PromSeries{Labels: sortedLabels(v.Labels(), extra...), Value: v.Value()})
+		case *Gauge:
+			cur.Series = append(cur.Series, PromSeries{Labels: sortedLabels(v.Labels(), extra...), Value: v.Value()})
+		case *Histogram:
+			cur.Series = append(cur.Series, HistogramPromSeries(v, sortedLabels(v.Labels(), extra...)))
+		}
+	})
+	return fams
+}
+
 // WritePrometheus emits the collectors' registries in the Prometheus
 // text exposition format. Series from different collectors are merged
 // under one # TYPE header per metric and distinguished by a "scope"
@@ -16,17 +162,7 @@ import (
 // sorted by name and series by label signature, so output is
 // byte-identical for identical inputs.
 func WritePrometheus(w io.Writer, collectors ...*Collector) error {
-	type entry struct {
-		set    []Label // instrument labels plus scope, sorted by key
-		labels string  // set rendered as {k="v",...}
-		inst   any
-	}
-	type fam struct {
-		kind    Kind
-		buckets []float64
-		entries []entry
-	}
-	fams := make(map[string]*fam)
+	e := NewExposition()
 	for ci, c := range collectors {
 		if c == nil || c.reg == nil {
 			continue
@@ -35,72 +171,9 @@ func WritePrometheus(w io.Writer, collectors ...*Collector) error {
 		if scope == "" {
 			scope = "env" + itoa(int64(ci+1))
 		}
-		for _, name := range c.reg.familyNames() {
-			f := c.reg.families[name]
-			mf, ok := fams[name]
-			if !ok {
-				mf = &fam{kind: f.kind, buckets: f.buckets}
-				fams[name] = mf
-			} else if mf.kind != f.kind {
-				return fmt.Errorf("obs: metric %q is %v in one collector, %v in another", name, mf.kind, f.kind)
-			}
-			for _, inst := range f.series {
-				var labels []Label
-				switch v := inst.(type) {
-				case *Counter:
-					labels = v.labels
-				case *Gauge:
-					labels = v.labels
-				case *Histogram:
-					labels = v.labels
-				}
-				set := sortedLabels(labels, L("scope", scope))
-				mf.entries = append(mf.entries, entry{
-					set:    set,
-					labels: renderLabels(set),
-					inst:   inst,
-				})
-			}
-		}
+		e.Add(registryFamilies(c.reg, L("scope", scope))...)
 	}
-	names := make([]string, 0, len(fams))
-	for n := range fams {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	bw := bufio.NewWriter(w)
-	for _, name := range names {
-		mf := fams[name]
-		sort.Slice(mf.entries, func(i, j int) bool { return mf.entries[i].labels < mf.entries[j].labels })
-		fmt.Fprintf(bw, "# TYPE %s %s\n", name, mf.kind)
-		for _, e := range mf.entries {
-			switch v := e.inst.(type) {
-			case *Counter:
-				fmt.Fprintf(bw, "%s%s %s\n", name, e.labels, ftoa(v.v))
-			case *Gauge:
-				fmt.Fprintf(bw, "%s%s %s\n", name, e.labels, ftoa(v.v))
-			case *Histogram:
-				cum := uint64(0)
-				for i, b := range v.bounds {
-					cum += v.counts[i]
-					// Bounds are normalized finite at registration;
-					// the guard keeps a hand-built histogram from
-					// rendering a duplicate +Inf line.
-					if math.IsInf(b, 0) || math.IsNaN(b) {
-						continue
-					}
-					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
-						renderLabels(sortedLabels(e.set, L("le", ftoa(b)))), cum)
-				}
-				fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
-					renderLabels(sortedLabels(e.set, L("le", "+Inf"))), v.n)
-				fmt.Fprintf(bw, "%s_sum%s %s\n", name, e.labels, ftoa(v.sum))
-				fmt.Fprintf(bw, "%s_count%s %d\n", name, e.labels, v.n)
-			}
-		}
-	}
-	return bw.Flush()
+	return e.WriteText(w)
 }
 
 // sortedLabels merges label slices into one copy sorted by key.

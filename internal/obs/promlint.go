@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus checks a text exposition against the conformance
+// rules the exporters guarantee and Prometheus scrapers require:
+//
+//   - every line is a "# TYPE <name> <kind>" header or a sample line
+//     "<name>{labels} <value>" with parseable labels and value;
+//   - each family is declared exactly once, families appear in sorted
+//     name order, and every sample belongs to the family most recently
+//     declared (histogram samples via the _bucket/_sum/_count suffixes);
+//   - per histogram series: le bounds strictly ascending, exactly one
+//     +Inf bucket, cumulative bucket counts non-decreasing, and the
+//     _count value equal to the +Inf bucket's count.
+//
+// It is exported (rather than test-local) so the package's conformance
+// tests and the live HTTP server's tests lint the same way.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	type histSeries struct {
+		les     []float64 // +Inf as math.Inf(1)
+		cums    []uint64
+		count   uint64
+		hasCnt  bool
+		hasInf  bool
+		infCum  uint64
+		lastLoc int
+	}
+	kinds := make(map[string]string)
+	hists := make(map[string]*histSeries) // "fam\x00labels-without-le"
+	var famOrder []string
+	cur := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var name, kind string
+			if _, err := fmt.Sscanf(line, "# TYPE %s %s", &name, &kind); err != nil {
+				return fmt.Errorf("line %d: unparseable comment %q", lineNo, line)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				return fmt.Errorf("line %d: unknown kind %q", lineNo, kind)
+			}
+			if _, dup := kinds[name]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+			}
+			kinds[name] = kind
+			famOrder = append(famOrder, name)
+			cur = name
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == "" {
+			return fmt.Errorf("line %d: sample %q before any # TYPE header", lineNo, name)
+		}
+		fam, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if kinds[cur] == "histogram" && name == cur+sfx {
+				fam, suffix = cur, sfx
+				break
+			}
+		}
+		if fam != cur {
+			return fmt.Errorf("line %d: sample %q outside its family's # TYPE block (current %q)", lineNo, name, cur)
+		}
+		if kinds[cur] == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: histogram %q has a bare sample line", lineNo, cur)
+		}
+		if kinds[cur] != "histogram" {
+			continue
+		}
+		// Histogram bookkeeping, keyed on the series identity minus le.
+		le := math.NaN()
+		rest := make([]string, 0, len(labels))
+		for _, l := range labels {
+			k, v, _ := strings.Cut(l, "=")
+			if suffix == "_bucket" && k == "le" {
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %s: %v", lineNo, v, err)
+				}
+				if uq == "+Inf" {
+					le = math.Inf(1)
+				} else if le, err = strconv.ParseFloat(uq, 64); err != nil {
+					return fmt.Errorf("line %d: bad le bound %q", lineNo, uq)
+				}
+				continue
+			}
+			rest = append(rest, l)
+		}
+		sort.Strings(rest)
+		key := fam + "\x00" + strings.Join(rest, ",")
+		hs, ok := hists[key]
+		if !ok {
+			hs = &histSeries{}
+			hists[key] = hs
+		}
+		hs.lastLoc = lineNo
+		switch suffix {
+		case "_bucket":
+			if math.IsNaN(le) {
+				return fmt.Errorf("line %d: bucket without le label", lineNo)
+			}
+			if n := len(hs.les); n > 0 && le <= hs.les[n-1] {
+				return fmt.Errorf("line %d: le bounds out of order (%g after %g)", lineNo, le, hs.les[n-1])
+			}
+			if hs.hasInf {
+				return fmt.Errorf("line %d: bucket after the +Inf bucket", lineNo)
+			}
+			cum := uint64(value)
+			if n := len(hs.cums); n > 0 && cum < hs.cums[n-1] {
+				return fmt.Errorf("line %d: cumulative bucket count decreased", lineNo)
+			}
+			hs.les = append(hs.les, le)
+			hs.cums = append(hs.cums, cum)
+			if math.IsInf(le, 1) {
+				hs.hasInf = true
+				hs.infCum = cum
+			}
+		case "_count":
+			hs.count = uint64(value)
+			hs.hasCnt = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sort.StringsAreSorted(famOrder) {
+		return fmt.Errorf("families not in sorted order: %v", famOrder)
+	}
+	for key, hs := range hists {
+		fam, _, _ := strings.Cut(key, "\x00")
+		if !hs.hasInf {
+			return fmt.Errorf("histogram %s (near line %d): no +Inf bucket", fam, hs.lastLoc)
+		}
+		if !hs.hasCnt {
+			return fmt.Errorf("histogram %s (near line %d): no _count sample", fam, hs.lastLoc)
+		}
+		if hs.count != hs.infCum {
+			return fmt.Errorf("histogram %s (near line %d): _count %d != +Inf bucket %d", fam, hs.lastLoc, hs.count, hs.infCum)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits "<name>{labels} <value>" (labels optional)
+// into its parts, validating label quoting. labels come back as raw
+// `k="v"` strings.
+func parseSampleLine(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("no value on sample line %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		block := rest[1 : end-1]
+		rest = rest[end:]
+		for len(block) > 0 {
+			eq := strings.Index(block, "=")
+			if eq <= 0 || len(block) < eq+2 || block[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("bad label in %q", line)
+			}
+			vEnd := quotedEnd(block[eq+1:])
+			if vEnd < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			vEnd += eq + 1
+			if _, err := strconv.Unquote(block[eq+1 : vEnd]); err != nil {
+				return "", nil, 0, fmt.Errorf("bad label quoting in %q: %v", line, err)
+			}
+			labels = append(labels, block[:vEnd])
+			block = block[vEnd:]
+			if strings.HasPrefix(block, ",") {
+				block = block[1:]
+			} else if block != "" {
+				return "", nil, 0, fmt.Errorf("bad label separator in %q", line)
+			}
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+// labelBlockEnd returns the index just past the '}' closing the label
+// block that starts at s[0] == '{', honoring quoted values (-1 if
+// unterminated).
+func labelBlockEnd(s string) int {
+	inQ := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQ && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQ = !inQ
+		case !inQ && s[i] == '}':
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// quotedEnd returns the index just past the closing quote of the Go
+// quoted string starting at s[0] == '"' (-1 if unterminated).
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,48 @@
+package obs
+
+// HistogramQuantile estimates the q-quantile (q in [0,1]) of a
+// cumulative le-bucket histogram by linear interpolation inside the
+// bucket where the target rank falls — the Prometheus
+// histogram_quantile model, shared by the tsdb windowed quantile
+// queries and the analyze latency-percentile paths so both compute the
+// same answer from the same bucket layout.
+//
+// bounds are the finite ascending upper bounds; cum[i] is the
+// cumulative count of observations <= bounds[i]; total is the count of
+// all observations (the implicit +Inf bucket's cumulative value).
+// Interpolation assumes a uniform distribution within each bucket and
+// a lower edge of 0 for the first. When the rank lands in the +Inf
+// overflow bucket the highest finite bound is returned (there is no
+// finite upper edge to interpolate toward). An empty histogram yields
+// 0. q is clamped to [0,1].
+func HistogramQuantile(q float64, bounds []float64, cum []uint64, total uint64) float64 {
+	if total == 0 || len(bounds) == 0 || len(cum) < len(bounds) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	// Find the first bucket whose cumulative count reaches the rank.
+	for i, b := range bounds {
+		c := float64(cum[i])
+		if c < rank {
+			continue
+		}
+		lower, prev := 0.0, 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+			prev = float64(cum[i-1])
+		}
+		inBucket := c - prev
+		if inBucket <= 0 {
+			return b
+		}
+		return lower + (b-lower)*(rank-prev)/inBucket
+	}
+	// Rank falls in the +Inf overflow bucket.
+	return bounds[len(bounds)-1]
+}

@@ -78,6 +78,15 @@ func (c *Counter) Value() float64 {
 	return c.v
 }
 
+// Labels returns the counter's canonical (key-sorted) labels. The
+// slice is shared with the registry and must not be mutated.
+func (c *Counter) Labels() []Label {
+	if c == nil {
+		return nil
+	}
+	return c.labels
+}
+
 // Gauge is a point-in-time value whose history is kept as a
 // piecewise-constant step series in virtual time.
 type Gauge struct {
@@ -119,6 +128,15 @@ func (g *Gauge) Series() *metrics.StepSeries {
 		return nil
 	}
 	return &g.series
+}
+
+// Labels returns the gauge's canonical (key-sorted) labels. The slice
+// is shared with the registry and must not be mutated.
+func (g *Gauge) Labels() []Label {
+	if g == nil {
+		return nil
+	}
+	return g.labels
 }
 
 // Histogram counts observations into cumulative buckets with explicit
@@ -166,6 +184,35 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Labels returns the histogram's canonical (key-sorted) labels. The
+// slice is shared with the registry and must not be mutated.
+func (h *Histogram) Labels() []Label {
+	if h == nil {
+		return nil
+	}
+	return h.labels
+}
+
+// Bounds returns the histogram's finite ascending upper bounds (the
+// +Inf bucket is implicit). Shared with the registry; read-only.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts:
+// len(Bounds())+1 entries, the last being the +Inf overflow. The slice
+// is the live backing store — callers must only read it, from sim
+// context, and copy if they need a stable snapshot.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.counts
+}
+
 // family is one named metric with a fixed kind and a series per label
 // set.
 type family struct {
@@ -181,6 +228,10 @@ type family struct {
 type Registry struct {
 	clock    Clock
 	families map[string]*family
+	// gen counts structural changes (new family or new series) so
+	// scrapers can cache their flattened instrument list and rebuild it
+	// only when something was registered since the last pass.
+	gen uint64
 }
 
 // NewRegistry creates an empty registry stamping gauges with clock.
@@ -225,6 +276,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	}
 	c := &Counter{labels: ls}
 	f.series[key] = c
+	r.gen++
 	return c
 }
 
@@ -240,6 +292,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	}
 	g := &Gauge{labels: ls, clock: r.clock}
 	f.series[key] = g
+	r.gen++
 	return g
 }
 
@@ -286,7 +339,39 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 	}
 	h := &Histogram{labels: ls, bounds: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
 	f.series[key] = h
+	r.gen++
 	return h
+}
+
+// Gen returns the registry's structural generation: it increments
+// whenever a new series is registered, never on value updates. A
+// scraper that cached its instrument list at generation g sees every
+// series exactly when Gen() != g.
+func (r *Registry) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen
+}
+
+// VisitSeries calls fn for every registered instrument in
+// deterministic order: families sorted by name, series sorted by
+// canonical label key. inst is a *Counter, *Gauge, or *Histogram.
+func (r *Registry) VisitSeries(fn func(name string, kind Kind, inst any)) {
+	if r == nil {
+		return
+	}
+	for _, name := range r.familyNames() {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fn(name, f.kind, f.series[k])
+		}
+	}
 }
 
 // familyNames returns the registered metric names, sorted.

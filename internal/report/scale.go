@@ -32,6 +32,15 @@ type ScaleOptions struct {
 	// trace section to a temp file during the run and splices them into
 	// one Perfetto-loadable artifact at this path.
 	TracePath string
+	// Telemetry forwards to core.ScaleConfig.Telemetry: per-shard tsdb
+	// stores and progress callbacks for the live observability plane.
+	// With Compare it attaches to the streaming run only (attaching the
+	// same shard scopes twice would double-register them).
+	Telemetry *core.ScaleTelemetry
+	// WrapSink, when set with Stream, wraps each shard's span sink —
+	// the live server tees its /spans tail in here. Ignored without
+	// Stream (snapshot collection has no sink to tee).
+	WrapSink func(shard int, base obs.SpanSink) obs.SpanSink
 }
 
 func (o ScaleOptions) config() core.ScaleConfig {
@@ -73,12 +82,12 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 	header(bw, "Million-task throughput — sharded open-loop scenario")
 	cfg := opts.config()
 	if opts.Compare {
-		snapRes, snapWall, err := runScale(cfg, false, "")
+		snapRes, snapWall, err := runScale(cfg, ScaleOptions{}, false)
 		if err != nil {
 			return err
 		}
 		writeScaleRun(bw, "snapshot", cfg, snapRes, snapWall)
-		strRes, strWall, err := runScale(cfg, true, opts.TracePath)
+		strRes, strWall, err := runScale(cfg, opts, true)
 		if err != nil {
 			return err
 		}
@@ -98,7 +107,7 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 	if opts.Stream {
 		mode = "streaming"
 	}
-	res, wall, err := runScale(cfg, opts.Stream, opts.TracePath)
+	res, wall, err := runScale(cfg, opts, opts.Stream)
 	if err != nil {
 		return err
 	}
@@ -110,7 +119,9 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 // allocation deltas. In streaming mode with a trace path, each shard's
 // section spills to its own temp file as the run progresses, and the
 // files are spliced into the final artifact afterwards.
-func runScale(cfg core.ScaleConfig, stream bool, tracePath string) (*core.ScaleResult, scaleWall, error) {
+func runScale(cfg core.ScaleConfig, opts ScaleOptions, stream bool) (*core.ScaleResult, scaleWall, error) {
+	tracePath := opts.TracePath
+	cfg.Telemetry = opts.Telemetry
 	var wall scaleWall
 	var files []*os.File
 	var writers []*bufio.Writer
@@ -133,6 +144,11 @@ func runScale(cfg core.ScaleConfig, stream bool, tracePath string) (*core.ScaleR
 			sec := obs.NewTraceSection(fw, i+1, fmt.Sprintf("scale/shard%d", i))
 			sections = append(sections, sec)
 			cfg.Sinks[i] = sec
+		}
+		if opts.WrapSink != nil {
+			for i := range cfg.Sinks {
+				cfg.Sinks[i] = opts.WrapSink(i, cfg.Sinks[i])
+			}
 		}
 		defer func() {
 			for _, f := range files {

@@ -7,6 +7,26 @@ import (
 	"repro/internal/harness"
 )
 
+// stripModeTelemetry drops the collector self-telemetry families whose
+// values truthfully differ between the snapshot and streaming
+// pipelines — flush and sampling counters only advance when a sink is
+// attached, and the retained-window peak is the very quantity
+// streaming exists to shrink. Every other family must stay
+// byte-identical across modes.
+func stripModeTelemetry(prom []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(prom, []byte("\n")) {
+		trimmed := bytes.TrimPrefix(line, []byte("# TYPE "))
+		if bytes.HasPrefix(trimmed, []byte("obs_spans_flushed_total")) ||
+			bytes.HasPrefix(trimmed, []byte("obs_spans_sampled_out_total")) ||
+			bytes.HasPrefix(trimmed, []byte("obs_spans_retained_peak")) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
 // TestStreamedArtifactsMatchSnapshot is the regression gate for the
 // streaming export path: every artifact — trace, metrics, attribution
 // JSON, folded flame stacks, and SLO alerts — must be byte-identical
@@ -44,7 +64,7 @@ func TestStreamedArtifactsMatchSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatalf("attribution (workers=%d streamed=%v): %v", workers, streamed, err)
 		}
-		a.trace, a.prom = tr.Bytes(), pr.Bytes()
+		a.trace, a.prom = tr.Bytes(), stripModeTelemetry(pr.Bytes())
 		a.attrib, a.flame, a.alerts = at.Bytes(), fl.Bytes(), al.Bytes()
 		return a
 	}
