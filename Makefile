@@ -10,14 +10,17 @@
 # `make bench-diff` compares the committed records against freshly
 # regenerated ones via benchstat (skipped when benchstat is absent).
 # `make scale` runs a modest snapshot-vs-streaming throughput compare
-# of the sharded million-task scenario. `make attrib` smoke-tests the
-# latency attribution pipeline end to end on the Table 1 bursts.
-# `make serve-smoke` boots the live observability server on a scale
-# run and curls its endpoints — the CI smoke for the -serve plane.
+# of the sharded million-task scenario. `make fleet` runs the
+# fleet-scale placement artifact at a modest size and checks it stays
+# byte-identical across -parallel and -stream. `make attrib`
+# smoke-tests the latency attribution pipeline end to end on the
+# Table 1 bursts. `make serve-smoke` boots the live observability
+# server on a scale run and curls its endpoints — the CI smoke for the
+# -serve plane.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-obs bench-check bench-diff scale attrib serve-smoke clean
+.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-obs bench-fleet bench-check bench-diff scale fleet attrib serve-smoke clean
 
 check: build vet staticcheck test
 
@@ -46,14 +49,16 @@ cover:
 	$(GO) test -cover ./...
 
 # Short fuzz passes over the chaos-spec parser, the executor config
-# validator, and the repartitioning-spec parser (the checked-in corpora
-# run as regular tests in `make test`).
+# validator, the repartitioning-spec parser, and the fleet packer
+# (demand-spec strings through Place with Validate as the oracle; the
+# checked-in corpora run as regular tests in `make test`).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault
 	$(GO) test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s ./internal/faas/htex
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/repart
+	$(GO) test -run '^$$' -fuzz FuzzPlace -fuzztime 10s ./internal/fleet
 
-bench: bench-devent bench-paper bench-obs bench-check
+bench: bench-devent bench-paper bench-obs bench-fleet bench-check
 
 bench-devent:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent ./internal/obs > BENCH_devent.json
@@ -67,10 +72,15 @@ bench-paper:
 bench-obs:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/obs/tsdb ./internal/obs/live > BENCH_obs.json
 
+# The fleet-layer record: the from-scratch 100-GPU greedy solve, the
+# steady-state churn step, and the fragmentation metric.
+bench-fleet:
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/fleet > BENCH_fleet.json
+
 # Fail on malformed or benchmark-free records so a truncated `go test
 # -json` stream can't land as the current trajectory point.
 bench-check:
-	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json BENCH_obs.json
+	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json
 
 # Compare the committed records (HEAD) against freshly regenerated
 # ones. benchstat is optional locally (no network installs in the dev
@@ -78,7 +88,7 @@ bench-check:
 bench-diff: bench
 	@if command -v benchstat >/dev/null 2>&1; then \
 		tmp=$$(mktemp -d); \
-		for f in BENCH_devent BENCH_paper BENCH_obs; do \
+		for f in BENCH_devent BENCH_paper BENCH_obs BENCH_fleet; do \
 			git show HEAD:$$f.json > $$tmp/$$f.old.json 2>/dev/null || continue; \
 			$(GO) run ./cmd/benchjson text $$tmp/$$f.old.json > $$tmp/$$f.old.txt; \
 			$(GO) run ./cmd/benchjson text $$f.json > $$tmp/$$f.new.txt; \
@@ -95,6 +105,18 @@ bench-diff: bench
 # with defaults).
 scale:
 	$(GO) run ./cmd/paperbench scale -tasks 50000 -shards 4 -compare
+
+# Modest-size fleet-placement smoke: render the artifact twice — once
+# with defaults, once sequential + streaming — and require the outputs
+# byte-identical (the artifact is purely virtual).
+fleet:
+	@set -e; \
+	$(GO) build -o /tmp/paperbench-fleet ./cmd/paperbench; \
+	/tmp/paperbench-fleet fleet -gpus80 16 -gpus40 16 -apps 24 -horizon 3m > /tmp/fleet.a.txt; \
+	/tmp/paperbench-fleet fleet -gpus80 16 -gpus40 16 -apps 24 -horizon 3m -parallel 1 -stream > /tmp/fleet.b.txt; \
+	cmp /tmp/fleet.a.txt /tmp/fleet.b.txt; \
+	grep -q 'virtual: rebalances=' /tmp/fleet.a.txt; \
+	echo "fleet: ok (byte-identical across -parallel and -stream)"
 
 # End-to-end smoke of the live observability plane: run a small scale
 # scenario with -serve, poll /healthz until the run reports done, then
@@ -128,4 +150,4 @@ attrib:
 	@sort -t' ' -k2 -rn FLAME_table1.folded | head -5
 
 clean:
-	rm -f BENCH_devent.json BENCH_paper.json BENCH_obs.json ATTRIB_table1.json FLAME_table1.folded
+	rm -f BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json ATTRIB_table1.json FLAME_table1.folded

@@ -8,6 +8,8 @@
 //	gpufaas moldesign -rounds 4 -batch 16
 //	gpufaas sweep -percents 5,10,20,50,100
 //	gpufaas repart -spec policy=knee,interval=10s
+//	gpufaas fleet -gpus80 2 -gpus40 1 -demands "llama:30:20;resnet:10:1"
+//	gpufaas fleet -gpus80 64 -gpus40 64 -apps 56 -horizon 10m
 //	gpufaas tracediff -a a.json -b b.json
 package main
 
@@ -21,9 +23,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/moldesign"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
@@ -50,6 +54,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case "pack":
 		err = runPack(os.Args[2:])
+	case "fleet":
+		err = runFleet(os.Args[2:])
 	case "repart":
 		err = runRepart(os.Args[2:])
 	case "tracediff":
@@ -64,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|repart|tracediff> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|fleet|repart|tracediff> [flags]`)
 	os.Exit(2)
 }
 
@@ -564,6 +570,130 @@ func runPack(args []string) error {
 			fmt.Printf("  %-12s %s\n", a.Tenant, a.Profile)
 		}
 	}
+	return nil
+}
+
+// runFleet drives the fleet-layer packer directly. With -demands it
+// packs a fixed tenant set onto the inventory and prints each granted
+// segment plus the per-GPU fragmentation; without it, it runs the
+// seeded churn scenario and prints the admission/fragmentation
+// summary.
+//
+//	gpufaas fleet -gpus80 2 -gpus40 1 -demands "llama:30:20;resnet:10:1"
+//	gpufaas fleet -gpus80 64 -gpus40 64 -apps 56 -horizon 10m -serve :9190
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	gpus80 := fs.Int("gpus80", 0, "A100-80GB parts (default: 2 with -demands, 64 for the scenario)")
+	gpus40 := fs.Int("gpus40", 0, "A100-40GB parts (default: 1 with -demands, 64 for the scenario)")
+	demands := fs.String("demands", "", `pack a fixed tenant set: "name:SMs[:memGB];..." (e.g. "llama:30:20;resnet:10:1")`)
+	apps := fs.Int("apps", 0, "scenario: distinct applications (default 56)")
+	horizon := fs.Duration("horizon", 0, "scenario: arrival horizon on the virtual clock (default 10m)")
+	rate := fs.Float64("rate", 0, "scenario: tenant arrivals per second (default 2.0)")
+	seed := fs.Int64("seed", 0, "scenario: churn RNG seed (default 1)")
+	serveAddr := fs.String("serve", "", "scenario: serve live observability over HTTP on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *demands != "" {
+		return runFleetPack(*gpus80, *gpus40, *demands)
+	}
+	srv, err := startServe(*serveAddr)
+	if err != nil {
+		return err
+	}
+	cfg := core.FleetConfig{
+		GPUs80: *gpus80, GPUs40: *gpus40, Apps: *apps,
+		Duration: *horizon, ArrivalRate: *rate, Seed: *seed,
+	}
+	if srv != nil {
+		cfg.TSDB = &tsdb.Config{}
+		cfg.OnDB = func(db *tsdb.DB) { srv.AttachDB("fleet", db) }
+		cfg.OnCollector = func(c *obs.Collector) { c.SetSink(srv.Tail("fleet", 0)) }
+	}
+	r, err := core.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		r.Obs.Close() // flush parked daemon spans into the live tail
+	}
+	fmt.Printf("fleet: %d GPUs, %d apps, horizon %s, seed %d\n",
+		r.GPUs, r.Apps, cfg.WithDefaults().Duration, cfg.WithDefaults().Seed)
+	fmt.Printf("  arrivals:      %d placed, %d rejected of %d (attainment %.1f%%)\n",
+		r.Placed, r.Rejected, r.Arrivals, r.Attainment*100)
+	for _, cs := range r.Classes {
+		att := 100.0
+		if cs.Arrivals > 0 {
+			att = 100 * float64(cs.Placed) / float64(cs.Arrivals)
+		}
+		fmt.Printf("    %-9s %d/%d (%.1f%%)\n", cs.Class+":", cs.Placed, cs.Arrivals, att)
+	}
+	fmt.Printf("  peak tenants:  %d\n", r.PeakTenants)
+	if len(r.FragSeries) > 0 {
+		var peak float64
+		for _, p := range r.FragSeries {
+			if p.Frag > peak {
+				peak = p.Frag
+			}
+		}
+		last := r.FragSeries[len(r.FragSeries)-1]
+		fmt.Printf("  fragmentation: peak %.4f, at horizon %.4f (%d MIG / %d MPS / %d empty GPUs)\n",
+			peak, last.Frag, last.MIG, last.MPS, last.Empty)
+	}
+	fmt.Printf("  rebalances:    %d (%d applied, %d tenants moved, max gap %.4f, %d scratch-infeasible)\n",
+		r.Rebalances, r.RebalancesApplied, r.Moved, r.MaxGap, r.ScratchInfeasible)
+	fmt.Printf("  drain:         %d evicted, final frag %.4f, makespan %s\n",
+		r.Evicted, r.FinalFrag, r.Makespan.Round(time.Millisecond))
+	serveLinger(srv)
+	return nil
+}
+
+// runFleetPack is the -demands mode: a one-shot greedy pack with the
+// granted segments and the fragmentation they leave behind.
+func runFleetPack(n80, n40 int, spec string) error {
+	if n80 <= 0 && n40 <= 0 {
+		n80, n40 = 2, 1
+	}
+	ds, err := fleet.ParseDemands(spec)
+	if err != nil {
+		return fmt.Errorf("-demands: %w", err)
+	}
+	var specs []simgpu.DeviceSpec
+	for i := 0; i < n80; i++ {
+		specs = append(specs, simgpu.A100SXM480GB())
+	}
+	for i := 0; i < n40; i++ {
+		specs = append(specs, simgpu.A100SXM440GB())
+	}
+	cl, err := fleet.New(fleet.Config{Inventory: fleet.NewInventory(specs...)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inventory: %d GPUs (%dx80GB + %dx40GB)\n", n80+n40, n80, n40)
+	for _, d := range ds {
+		p, err := cl.Place(d)
+		if err != nil {
+			fmt.Printf("  %-12s unplaceable: %v\n", d.Tenant, err)
+			continue
+		}
+		seg := p.Segment
+		switch seg.Kind {
+		case fleet.SegMIG:
+			fmt.Printf("  %-12s %s  %s@slice%d  %d%% (%d SMs, %.1f GB)\n",
+				d.Tenant, seg.GPU, seg.Profile, seg.Start, seg.Percent, seg.SMs, float64(seg.MemBytes)/1e9)
+		default:
+			fmt.Printf("  %-12s %s  whole-GPU MPS  %d%% (%d SMs, %.1f GB)\n",
+				d.Tenant, seg.GPU, seg.Percent, seg.SMs, float64(seg.MemBytes)/1e9)
+		}
+	}
+	rep := cl.Fragmentation()
+	for _, g := range rep.PerGPU {
+		if g.Mode == "empty" {
+			continue
+		}
+		fmt.Printf("fragmentation: %-6s %-5s %.4f\n", g.ID, g.Mode, g.Frag)
+	}
+	fmt.Printf("fragmentation: fleet mean %.4f over %d GPUs\n", rep.Fleet, len(rep.PerGPU))
 	return nil
 }
 

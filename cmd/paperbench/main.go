@@ -55,8 +55,13 @@ artifacts:
   scale      million-task throughput: sharded open-loop microtask run
              reporting events/sec, span counts, and retained-window
              memory (see -tasks/-shards/-stream/-compare)
-  all        everything, in paper order (repart, attrib, and scale
-             excluded: run them explicitly)
+  fleet      fleet-scale placement: fragmentation-aware MIG+MPS
+             packing of 50+ apps over a 128-GPU mixed inventory under
+             seeded churn, across a 0.5x/1.0x/1.5x offered-load grid
+             (see -gpus80/-gpus40/-apps/-horizon/-arrival/-seed;
+             purely virtual, byte-identical at any -parallel level)
+  all        everything, in paper order (repart, attrib, scale, and
+             fleet excluded: run them explicitly)
 
 modes:
   tracediff  compare two attribution JSON artifacts (written with
@@ -117,7 +122,14 @@ scale flags:
   -arrival R       per-shard offered load, tasks/sec (default 8000)
   -seed N          arrival/service RNG seed (default 1)
   -compare         run snapshot then streaming and report the
-                   events/sec and memory deltas`)
+                   events/sec and memory deltas
+
+fleet flags (-arrival and -seed apply here too):
+  -gpus80 N        A100-80GB parts in the inventory (default 64)
+  -gpus40 N        A100-40GB parts in the inventory (default 64)
+  -apps N          distinct applications churning (default 56)
+  -horizon D       tenant-arrival horizon on the virtual clock
+                   (default 10m)`)
 	os.Exit(2)
 }
 
@@ -152,8 +164,12 @@ func main() {
 	workers := fs.Int("workers", 0, "scale: CPU workers per shard (default 16)")
 	window := fs.Int("window", 0, "scale: in-flight submissions per shard (default 64)")
 	arrival := fs.Float64("arrival", 0, "scale: per-shard offered load in tasks/sec (default 8000)")
-	seed := fs.Int64("seed", 0, "scale: arrival/service RNG seed (default 1)")
+	seed := fs.Int64("seed", 0, "scale/fleet: RNG seed (default 1)")
 	compare := fs.Bool("compare", false, "scale: run snapshot then streaming and report deltas")
+	gpus80 := fs.Int("gpus80", 0, "fleet: A100-80GB parts (default 64)")
+	gpus40 := fs.Int("gpus40", 0, "fleet: A100-40GB parts (default 64)")
+	apps := fs.Int("apps", 0, "fleet: distinct applications (default 56)")
+	horizon := fs.Duration("horizon", 0, "fleet: arrival horizon on the virtual clock (default 10m)")
 	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address, e.g. 127.0.0.1:9190")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -252,6 +268,28 @@ func main() {
 			}
 		}
 		err = report.Scale(w, opts)
+	case "fleet":
+		opts := report.FleetOptions{
+			GPUs80: *gpus80, GPUs40: *gpus40, Apps: *apps,
+			Duration: *horizon, ArrivalRate: *arrival, Seed: *seed,
+			Stream: *stream,
+		}
+		if srv != nil {
+			// One series store per load cell; with -stream a live span
+			// tail tees into each cell's sink.
+			opts.Telemetry = &report.FleetTelemetry{
+				TSDB: &tsdb.Config{},
+				OnCellDB: func(load string, db *tsdb.DB) {
+					srv.AttachDB("fleet/"+load, db)
+				},
+			}
+			if *stream {
+				opts.WrapSink = func(load string, base obs.SpanSink) obs.SpanSink {
+					return live.Tee(base, srv.Tail("fleet/"+load, 0))
+				}
+			}
+		}
+		err = report.Fleet(w, opts)
 	case "all":
 		err = report.All(w, *completions)
 	default:
@@ -260,11 +298,12 @@ func main() {
 	if err == nil && *csvDir != "" {
 		err = report.WriteFigureCSVs(*csvDir, *completions)
 	}
-	// The scale artifact consumes -trace itself (its own span stream).
-	if err == nil && artifact != "scale" && (*traceOut != "" || *metricsOut != "") {
+	// The scale and fleet artifacts run their own span streams; the
+	// generic instrumented rerun applies to everything else.
+	if err == nil && artifact != "scale" && artifact != "fleet" && (*traceOut != "" || *metricsOut != "") {
 		err = writeObservability(*traceOut, *metricsOut, *completions, *stream, *sample)
 	}
-	if err == nil && artifact != "scale" && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
+	if err == nil && artifact != "scale" && artifact != "fleet" && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
 		err = writeAttribution(*attribOut, *flameOut, *alertsOut, *sloSpec, *completions, *stream)
 	}
 	if err != nil {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func smallFleetConfig() FleetConfig {
+	return FleetConfig{
+		GPUs80: 8, GPUs40: 8, Apps: 12,
+		Duration:       2 * time.Minute,
+		ArrivalRate:    1.5,
+		MeanLifetime:   45 * time.Second,
+		RebalanceEvery: 30 * time.Second,
+		SampleEvery:    5 * time.Second,
+		Seed:           7,
+	}
+}
+
+// TestRunFleetSanity checks the scenario actually exercises the packer
+// and drains clean: tenants arrive, most place, every tenant departs,
+// and a drained fleet has zero fragmentation.
+func TestRunFleetSanity(t *testing.T) {
+	res, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPUs != 16 {
+		t.Fatalf("GPUs = %d", res.GPUs)
+	}
+	if res.Arrivals == 0 || res.Placed == 0 {
+		t.Fatalf("no churn: %+v", res)
+	}
+	if res.Placed != res.Evicted {
+		t.Fatalf("placed %d but evicted %d — tenants leaked", res.Placed, res.Evicted)
+	}
+	if res.FinalTenants != 0 || res.FinalFrag != 0 {
+		t.Fatalf("drained fleet not empty: tenants=%d frag=%v", res.FinalTenants, res.FinalFrag)
+	}
+	if res.Attainment <= 0 || res.Attainment > 1 {
+		t.Fatalf("attainment %v", res.Attainment)
+	}
+	if len(res.FragSeries) == 0 {
+		t.Fatal("no fragmentation samples")
+	}
+	if res.PeakTenants == 0 {
+		t.Fatal("peak tenants never moved")
+	}
+	var classArrivals int
+	for _, c := range res.Classes {
+		classArrivals += c.Arrivals
+	}
+	if classArrivals != res.Arrivals {
+		t.Fatalf("class arrivals %d ≠ total %d", classArrivals, res.Arrivals)
+	}
+	if res.Makespan < 2*time.Minute {
+		t.Fatalf("makespan %s shorter than the horizon", res.Makespan)
+	}
+}
+
+// TestRunFleetDeterministic pins the scenario's virtual results:
+// identical configs yield identical results, and a different seed
+// yields a different churn trace.
+func TestRunFleetDeterministic(t *testing.T) {
+	strip := func(r *FleetResult) *FleetResult {
+		r.Obs, r.TSDB = nil, nil
+		return r
+	}
+	a, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(strip(a), strip(b)) {
+		t.Fatal("identical configs produced different results")
+	}
+	cfg := smallFleetConfig()
+	cfg.Seed = 8
+	c, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(strip(a), strip(c)) {
+		t.Fatal("different seeds produced identical churn")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faas/htex"
 	"repro/internal/faas/provider"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/gpuctl"
 	"repro/internal/monitor"
 	"repro/internal/obs"
@@ -129,10 +130,15 @@ func (o Options) chaosHTEX(cfg htex.Config) htex.Config {
 type Platform struct {
 	Env     *devent.Env
 	Devices []*simgpu.Device
-	Node    *gpuctl.Node
-	DFK     *faas.DFK
-	CPU     *htex.HTEX
-	Trace   *trace.Log
+	// Inventory is the fleet-layer view of Devices: one entry per GPU,
+	// IDs matching the device names, in the same order. Placement-aware
+	// callers (the fleet packer, multi-GPU scenarios) target it instead
+	// of assuming the paper's fixed 2-GPU pair.
+	Inventory fleet.Inventory
+	Node      *gpuctl.Node
+	DFK       *faas.DFK
+	CPU       *htex.HTEX
+	Trace     *trace.Log
 	// Monitor is the attached Parsl-style monitoring DB (Listing 1's
 	// log_dir): per-app statistics, worker busy time, task history.
 	Monitor *monitor.DB
@@ -207,15 +213,16 @@ func NewPlatform(opts Options) (*Platform, error) {
 	}
 	dfk := faas.NewDFK(env, fcfg, cpu)
 	pl := &Platform{
-		Env:     env,
-		Devices: devices,
-		Node:    node,
-		DFK:     dfk,
-		CPU:     cpu,
-		Trace:   &trace.Log{},
-		Monitor: monitor.New(),
-		Obs:     collector,
-		opts:    o,
+		Env:       env,
+		Devices:   devices,
+		Inventory: fleet.NewInventory(o.DeviceSpecs...),
+		Node:      node,
+		DFK:       dfk,
+		CPU:       cpu,
+		Trace:     &trace.Log{},
+		Monitor:   monitor.New(),
+		Obs:       collector,
+		opts:      o,
 	}
 	if !o.NoHistory {
 		// Worker-side run spans become the platform's Gantt trace (Fig. 3
@@ -288,8 +295,14 @@ func (pl *Platform) StartMPS(p *devent.Proc, idx int) (*gpuctl.MPSDaemon, error)
 
 // ConfigureMIG enables MIG mode on device idx (if needed) and installs
 // the given profile layout, returning the instance UUIDs in placement
-// order for use as accelerator references.
+// order for use as accelerator references. An index outside the
+// inventory is an error, not a panic: fleet-sized scenarios pick
+// devices programmatically, so a bad index must surface as a value the
+// caller can handle.
 func (pl *Platform) ConfigureMIG(p *devent.Proc, idx int, profiles []string) ([]string, error) {
+	if idx < 0 || idx >= len(pl.Devices) {
+		return nil, fmt.Errorf("core: ConfigureMIG device %d out of range (inventory has %d GPUs)", idx, len(pl.Devices))
+	}
 	dev := pl.Devices[idx]
 	if err := dev.EnableMIG(p); err != nil {
 		return nil, err

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simgpu"
+)
+
+// TestPlatformInventory pins the fleet view of the default testbed:
+// the paper's 2-GPU pair becomes a 2-entry inventory whose IDs match
+// the device names, so placement-aware callers and the legacy
+// index-based paths name the same hardware.
+func TestPlatformInventory(t *testing.T) {
+	pl, err := NewPlatform(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Inventory) != len(pl.Devices) {
+		t.Fatalf("inventory has %d entries for %d devices", len(pl.Inventory), len(pl.Devices))
+	}
+	if err := pl.Inventory.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range pl.Inventory {
+		if g.ID != pl.Devices[i].Name() {
+			t.Fatalf("inventory[%d] = %q, device is %q", i, g.ID, pl.Devices[i].Name())
+		}
+		if g.Spec != pl.Devices[i].Spec() {
+			t.Fatalf("inventory[%d] spec diverges from device", i)
+		}
+	}
+}
+
+// TestConfigureMIGOutOfRange pins the fixed single-device assumption:
+// a device index outside the inventory must surface as an error, not a
+// panic (fleet-sized scenarios pick indices programmatically).
+func TestConfigureMIGOutOfRange(t *testing.T) {
+	pl, err := NewPlatform(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{-1, 2, 99} {
+		_, err := pl.ConfigureMIG(nil, idx, []string{"1g.10gb"})
+		if err == nil {
+			t.Fatalf("index %d: want error, got none", idx)
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("index %d: want out-of-range error, got %v", idx, err)
+		}
+	}
+	// The pair case still works exactly as before.
+	uuids, err := pl.ConfigureMIG(nil, 1, []string{"3g.40gb", "3g.40gb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uuids) != 2 {
+		t.Fatalf("got %d instances, want 2", len(uuids))
+	}
+}
+
+// TestPlatformInventoryHeterogeneous checks a mixed fleet flows
+// through Options into the inventory unchanged.
+func TestPlatformInventoryHeterogeneous(t *testing.T) {
+	specs := []simgpu.DeviceSpec{simgpu.A100SXM480GB(), simgpu.A100SXM440GB(), simgpu.A100SXM440GB()}
+	pl, err := NewPlatform(Options{DeviceSpecs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Inventory) != 3 {
+		t.Fatalf("inventory has %d entries", len(pl.Inventory))
+	}
+	for i, g := range pl.Inventory {
+		if g.Spec != specs[i] {
+			t.Fatalf("inventory[%d] spec diverges", i)
+		}
+	}
+}

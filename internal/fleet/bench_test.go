@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchDemands is the tracked benchmark's workload: 50 app demands
+// drawn from the scenario's demand classes with a fixed seed.
+func benchDemands(n int) []Demand {
+	rng := rand.New(rand.NewSource(42))
+	ds := make([]Demand, n)
+	for i := range ds {
+		ds[i] = randomDemand(rng, fmt.Sprintf("app%d", i))
+	}
+	return ds
+}
+
+// BenchmarkPack100x50 is the tracked fleet record (BENCH_fleet.json):
+// a from-scratch greedy solve of 50 app demands over a 100-GPU mixed
+// inventory, the shape `paperbench fleet` runs at.
+func BenchmarkPack100x50(b *testing.B) {
+	inv := mixedInventory(50, 50)
+	ds := benchDemands(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{Inventory: inv})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range ds {
+			if _, err := c.Place(d); err != nil {
+				b.Fatalf("demand %+v: %v", d, err)
+			}
+		}
+	}
+}
+
+// BenchmarkChurn100GPUs measures steady-state incremental churn: one
+// eviction plus one placement against a loaded 100-GPU fleet.
+func BenchmarkChurn100GPUs(b *testing.B) {
+	inv := mixedInventory(50, 50)
+	c, err := New(Config{Inventory: inv})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := benchDemands(200)
+	placed := make([]Demand, 0, len(ds))
+	for _, d := range ds {
+		if _, err := c.Place(d); err == nil {
+			placed = append(placed, d)
+		}
+	}
+	if len(placed) < 50 {
+		b.Fatalf("only %d demands placed", len(placed))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := placed[i%len(placed)]
+		if err := c.Evict(d.Tenant); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Place(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFragmentation100GPUs measures the metric the sampler and
+// the rebalance comparison both lean on.
+func BenchmarkFragmentation100GPUs(b *testing.B) {
+	inv := mixedInventory(50, 50)
+	c, err := New(Config{Inventory: inv})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range benchDemands(200) {
+		_, _ = c.Place(d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Fragmentation().Fleet
+	}
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/simgpu"
+)
+
+// Fragmentation quantifies stranded capacity: resources that are free
+// on paper but unusable by any further placement given the remaining
+// MIG profile lattice and the MPS percentage/memory coupling.
+//
+// Per GPU the metric is a [0,1] fraction:
+//
+//   - empty → 0 (a fully free GPU can host anything its spec allows);
+//   - whole-GPU MPS → the imbalance between the free percentage
+//     fraction and the free memory fraction — whichever of compute or
+//     memory runs out first strands the surplus of the other;
+//   - MIG → the max of the compute-side and memory-side stranding. The
+//     compute side covers the free slices greedily with the largest
+//     profiles that still fit (the best case for a future arrival);
+//     slices no profile can reach — wrong start position in the
+//     placement lattice, or no memory slices left to pair with them —
+//     are stranded, as is the percentage/memory imbalance inside each
+//     partially-shared instance. The memory side counts free memory
+//     slices no coverable profile can claim.
+//
+// The constant MIG-mode tax (the A100's 108 SMs expose only 98 under
+// MIG) is deliberately excluded: it is a cost of the mode, not of any
+// packing decision, and including it would let the metric punish MIG
+// even when packed perfectly.
+//
+// Fleet fragmentation is the unweighted mean over the inventory, so a
+// fully idle fleet scores 0 and gauges stay comparable as GPUs churn
+// between modes.
+
+// GPUFrag is one device's fragmentation sample.
+type GPUFrag struct {
+	ID   string
+	Mode string
+	Frag float64
+}
+
+// FragReport is a point-in-time fragmentation snapshot.
+type FragReport struct {
+	PerGPU []GPUFrag
+	Fleet  float64
+}
+
+// Fragmentation computes the current snapshot.
+func (c *Cluster) Fragmentation() FragReport {
+	rep := FragReport{PerGPU: make([]GPUFrag, 0, len(c.gpus))}
+	sum := 0.0
+	for _, g := range c.gpus {
+		f := gpuFrag(g)
+		rep.PerGPU = append(rep.PerGPU, GPUFrag{ID: g.gpu.ID, Mode: g.mode.String(), Frag: f})
+		sum += f
+	}
+	if len(c.gpus) > 0 {
+		rep.Fleet = sum / float64(len(c.gpus))
+	}
+	return rep
+}
+
+// gpuFrag scores one device.
+func gpuFrag(g *gpuState) float64 {
+	switch g.mode {
+	case modeMPS:
+		return mpsFrag(g)
+	case modeMIG:
+		return migFrag(g)
+	}
+	return 0
+}
+
+// mpsFrag is the whole-GPU MPS imbalance: the smaller of the free
+// percentage fraction and the free memory fraction is what the next
+// arrival can actually have; the difference is stranded.
+func mpsFrag(g *gpuState) float64 {
+	spec := g.gpu.Spec
+	freePct := float64(100-g.usedPct()) / 100
+	freeMem := 1.0
+	if spec.MemBytes > 0 {
+		freeMem = float64(spec.MemBytes-g.usedMem()) / float64(spec.MemBytes)
+	}
+	return math.Abs(freePct - freeMem)
+}
+
+// migFrag scores a MIG-mode device: stranded compute slices (free but
+// not coverable by any profile placement), stranded memory slices, and
+// intra-instance percentage/memory imbalance.
+func migFrag(g *gpuState) float64 {
+	spec := g.gpu.Spec
+	occupied, memUsed := g.occupancy()
+	freeMemSl := spec.MemSlices - memUsed
+	freeSl := 0
+	for _, o := range occupied {
+		if !o {
+			freeSl++
+		}
+	}
+
+	// Greedy largest-first cover of the free slices: the most capacity
+	// any sequence of future instances could reclaim.
+	usableSl, usableMemSl := coverFree(g, occupied, freeMemSl)
+
+	strandedSMFrac := 0.0
+	totalSMSl := float64(spec.MIGSlices)
+	strandedSMFrac += float64(freeSl-usableSl) / totalSMSl
+
+	// Inside each instance, an MPS share that exhausts percentage before
+	// memory (or vice versa) strands the surplus, weighted by the
+	// instance's share of the device.
+	for _, in := range g.insts {
+		used := in.usedPct()
+		if used == 0 {
+			continue // dedicated-capacity accounting handled by the cover
+		}
+		freePct := float64(100-used) / 100
+		freeMem := 1.0
+		if in.prof.MemBytes > 0 {
+			freeMem = float64(in.prof.MemBytes-in.usedMem()) / float64(in.prof.MemBytes)
+		}
+		strandedSMFrac += math.Abs(freePct-freeMem) * float64(in.prof.Slices) / totalSMSl
+	}
+
+	strandedMemFrac := 0.0
+	if spec.MemSlices > 0 {
+		strandedMemFrac = float64(freeMemSl-usableMemSl) / float64(spec.MemSlices)
+	}
+	return math.Max(strandedSMFrac, strandedMemFrac)
+}
+
+// coverFree greedily lays the largest fitting profiles over the free
+// slices (respecting the placement lattice and the free memory-slice
+// budget) and reports how many compute and memory slices the cover
+// reaches. Free slices outside the cover are stranded.
+func coverFree(g *gpuState, occupied []bool, freeMemSl int) (usableSl, usableMemSl int) {
+	covered := make([]bool, len(occupied))
+	copy(covered, occupied)
+	memLeft := freeMemSl
+	// profiles are small→large; walk large→small.
+	for i := len(g.profiles) - 1; i >= 0; i-- {
+		p := g.profiles[i]
+		for {
+			placed := false
+			for _, start := range simgpu.MIGStarts(p.Slices) {
+				if start+p.Slices > len(covered) || p.MemSlices > memLeft {
+					continue
+				}
+				free := true
+				for s := start; s < start+p.Slices; s++ {
+					if covered[s] {
+						free = false
+						break
+					}
+				}
+				if !free {
+					continue
+				}
+				for s := start; s < start+p.Slices; s++ {
+					covered[s] = true
+				}
+				memLeft -= p.MemSlices
+				usableSl += p.Slices
+				usableMemSl += p.MemSlices
+				placed = true
+				break
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+	return usableSl, usableMemSl
+}

@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"repro/internal/rightsize"
+	"repro/internal/simgpu"
+)
+
+// Planner is the single-device planning facade of the fleet API — the
+// surface the repart controller targets. For one GPU the optimal-plan
+// problem is what rightsize already solves (largest-remainder MPS
+// apportionment, smallest-covering-profile MIG layouts), so the
+// planner delegates to those packers verbatim: routing the controller
+// through the fleet layer must stay bit-identical on the single-pair
+// phase-shift scenario, which the repart acceptance tests pin. Fleet-
+// wide placement (many GPUs, incremental churn) is Cluster.Place and
+// friends; Planner is the degenerate M=1 case kept exact.
+type Planner struct {
+	spec simgpu.DeviceSpec
+}
+
+// NewPlanner builds a planner for one device spec.
+func NewPlanner(spec simgpu.DeviceSpec) Planner {
+	return Planner{spec: spec}
+}
+
+// Spec returns the device spec the planner plans against.
+func (p Planner) Spec() simgpu.DeviceSpec { return p.spec }
+
+// PlanMPS apportions GPU percentages across the demands —
+// rightsize.PackMPS through the fleet API.
+func (p Planner) PlanMPS(demands []rightsize.TenantDemand) (*rightsize.MPSPlan, error) {
+	return rightsize.PackMPS(p.spec, demands)
+}
+
+// PlanMIG picks a placement-validated instance layout —
+// rightsize.PackMIG through the fleet API.
+func (p Planner) PlanMIG(demands []rightsize.TenantDemand) (*rightsize.MIGPlan, error) {
+	return rightsize.PackMIG(p.spec, demands)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/devent"
 	"repro/internal/faas"
 	"repro/internal/faas/htex"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/rightsize"
 	"repro/internal/simgpu"
@@ -91,6 +92,11 @@ type Controller struct {
 	cache   *weightcache.Cache
 	tenants []*tenantState
 	stop    *devent.Event
+	// planner is the fleet-API planning surface for the controller's
+	// device — the degenerate single-GPU case of cluster placement,
+	// delegating to the rightsize packers so plans are bit-identical to
+	// calling them directly.
+	planner fleet.Planner
 
 	layout         []string // current MIG layout (mode=mig)
 	lastTransition time.Duration
@@ -115,11 +121,12 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		env:   cfg.Env,
-		spec:  cfg.Spec.withDefaults(),
-		obsC:  cfg.Obs,
-		dev:   cfg.Device,
-		cache: cfg.Cache,
+		env:     cfg.Env,
+		spec:    cfg.Spec.withDefaults(),
+		obsC:    cfg.Obs,
+		dev:     cfg.Device,
+		cache:   cfg.Cache,
+		planner: fleet.NewPlanner(cfg.Device.Spec()),
 	}
 	m := cfg.Obs.Metrics()
 	c.cDecisions = m.Counter("repart_decisions_total")
@@ -346,7 +353,6 @@ func (c *Controller) targetSMs(ts *tenantState, spec simgpu.DeviceSpec) int {
 // the executors whose configuration moved beyond the hysteresis band.
 // Memory pressure sheds workers from the widest tenant first.
 func (c *Controller) planMPS(p *devent.Proc, parent obs.SpanID, obsv []window) string {
-	spec := c.dev.Spec()
 	var plan *rightsize.MPSPlan
 	for {
 		var demands []rightsize.TenantDemand
@@ -364,7 +370,7 @@ func (c *Controller) planMPS(p *devent.Proc, parent obs.SpanID, obsv []window) s
 			}
 		}
 		var err error
-		plan, err = rightsize.PackMPS(spec, demands)
+		plan, err = c.planner.PlanMPS(demands)
 		if err == nil {
 			break
 		}
@@ -464,7 +470,7 @@ func (c *Controller) planMIG(p *devent.Proc, parent obs.SpanID, obsv []window) s
 	var plan *rightsize.MIGPlan
 	for {
 		var err error
-		plan, err = rightsize.PackMIG(spec, demands)
+		plan, err = c.planner.PlanMIG(demands)
 		if err == nil {
 			break
 		}

@@ -92,7 +92,7 @@ func PackMPS(spec simgpu.DeviceSpec, demands []TenantDemand) (*MPSPlan, error) {
 	}
 	plan := &MPSPlan{}
 	for i, d := range demands {
-		if min := minGrantingPercent(spec.SMs, d.SMs); pcts[i] < min {
+		if min := MinGrantingPercent(spec.SMs, d.SMs); pcts[i] < min {
 			pcts[i] = min
 		}
 		plan.Assignments = append(plan.Assignments, MPSAssignment{Tenant: d.Name, Percent: pcts[i]})
@@ -102,9 +102,12 @@ func PackMPS(spec simgpu.DeviceSpec, demands []TenantDemand) (*MPSPlan, error) {
 	return plan, nil
 }
 
-// minGrantingPercent is the smallest percentage whose SM grant
-// (ceil(pct·deviceSMs/100)) covers sms.
-func minGrantingPercent(deviceSMs, sms int) int {
+// MinGrantingPercent is the smallest percentage whose SM grant
+// (ceil(pct·deviceSMs/100)) covers sms. Exported for the fleet packer,
+// which computes incremental per-tenant grants with the same rounding
+// PackMPS uses, so single-device plans and fleet placements agree on
+// what a percentage delivers.
+func MinGrantingPercent(deviceSMs, sms int) int {
 	if sms >= deviceSMs {
 		return 100
 	}

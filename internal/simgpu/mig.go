@@ -39,6 +39,15 @@ var migPlacements = map[int][]int{
 	7: {0},
 }
 
+// MIGStarts returns the allowed start slices for an instance of the
+// given compute-slice count (nil when no placement row exists). The
+// fleet packer enumerates these; Device.CreateInstance consumes the
+// same table, so out-of-band placement decisions always match what the
+// device will accept.
+func MIGStarts(slices int) []int {
+	return migPlacements[slices]
+}
+
 // MIGProfilesFor returns the profile table for a device spec (keyed on
 // memory size: the 40 GB and 80 GB A100 tables from the paper's §4.2).
 func MIGProfilesFor(spec DeviceSpec) []MIGProfile {
