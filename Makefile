@@ -4,15 +4,16 @@
 # stay race-clean — and runs as its own CI job. `make cover` prints
 # per-package statement coverage. `make bench` regenerates the kernel,
 # paper, and observability benchmark records as `go test -json` event
-# streams (BENCH_devent.json, BENCH_paper.json, BENCH_obs.json), which
-# benchstat and x/perf tooling both consume, and validates them with
-# cmd/benchjson.
+# streams (BENCH_devent.json, BENCH_paper.json, BENCH_obs.json,
+# BENCH_fleet.json, BENCH_autoscale.json), which benchstat and x/perf
+# tooling both consume, and validates them with cmd/benchjson.
 # `make bench-diff` compares the committed records against freshly
 # regenerated ones via benchstat (skipped when benchstat is absent).
 # `make scale` runs a modest snapshot-vs-streaming throughput compare
 # of the sharded million-task scenario. `make fleet` runs the
 # fleet-scale placement artifact at a modest size and checks it stays
-# byte-identical across -parallel and -stream. `make attrib`
+# byte-identical across -parallel and -stream. `make autoscale` does
+# the same for the SLO-driven autoscaling artifact. `make attrib`
 # smoke-tests the latency attribution pipeline end to end on the
 # Table 1 bursts. `make serve-smoke` boots the live observability
 # server on a scale run and curls its endpoints — the CI smoke for the
@@ -20,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-obs bench-fleet bench-check bench-diff scale fleet attrib serve-smoke clean
+.PHONY: check build vet staticcheck test race cover fuzz bench bench-devent bench-paper bench-obs bench-fleet bench-autoscale bench-check bench-diff scale fleet autoscale attrib serve-smoke clean
 
 check: build vet staticcheck test
 
@@ -58,7 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/repart
 	$(GO) test -run '^$$' -fuzz FuzzPlace -fuzztime 10s ./internal/fleet
 
-bench: bench-devent bench-paper bench-obs bench-fleet bench-check
+bench: bench-devent bench-paper bench-obs bench-fleet bench-autoscale bench-check
 
 bench-devent:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/devent ./internal/obs > BENCH_devent.json
@@ -77,10 +78,15 @@ bench-obs:
 bench-fleet:
 	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/fleet > BENCH_fleet.json
 
+# The autoscaling record: the controller's per-tick overhead, the
+# million-user traffic sampler, and the end-to-end autoscaled cell.
+bench-autoscale:
+	$(GO) test -json -run '^$$' -bench=. -benchmem -benchtime=1x ./internal/autoscale ./internal/core > BENCH_autoscale.json
+
 # Fail on malformed or benchmark-free records so a truncated `go test
 # -json` stream can't land as the current trajectory point.
 bench-check:
-	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json
+	$(GO) run ./cmd/benchjson check BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json BENCH_autoscale.json
 
 # Compare the committed records (HEAD) against freshly regenerated
 # ones. benchstat is optional locally (no network installs in the dev
@@ -88,7 +94,7 @@ bench-check:
 bench-diff: bench
 	@if command -v benchstat >/dev/null 2>&1; then \
 		tmp=$$(mktemp -d); \
-		for f in BENCH_devent BENCH_paper BENCH_obs BENCH_fleet; do \
+		for f in BENCH_devent BENCH_paper BENCH_obs BENCH_fleet BENCH_autoscale; do \
 			git show HEAD:$$f.json > $$tmp/$$f.old.json 2>/dev/null || continue; \
 			$(GO) run ./cmd/benchjson text $$tmp/$$f.old.json > $$tmp/$$f.old.txt; \
 			$(GO) run ./cmd/benchjson text $$f.json > $$tmp/$$f.new.txt; \
@@ -117,6 +123,20 @@ fleet:
 	cmp /tmp/fleet.a.txt /tmp/fleet.b.txt; \
 	grep -q 'virtual: rebalances=' /tmp/fleet.a.txt; \
 	echo "fleet: ok (byte-identical across -parallel and -stream)"
+
+# Modest-size autoscaling smoke: render the SLO-driven autoscaling
+# artifact twice — default vs sequential + streaming — and require the
+# outputs byte-identical, with all three verdict lines present.
+autoscale:
+	@set -e; \
+	$(GO) build -o /tmp/paperbench-autoscale ./cmd/paperbench; \
+	/tmp/paperbench-autoscale autoscale -gpus 4 -horizon 40m > /tmp/autoscale.a.txt; \
+	/tmp/paperbench-autoscale autoscale -gpus 4 -horizon 40m -parallel 1 -stream > /tmp/autoscale.b.txt; \
+	cmp /tmp/autoscale.a.txt /tmp/autoscale.b.txt; \
+	grep -q 'virtual: verdict cost' /tmp/autoscale.a.txt; \
+	grep -q 'virtual: verdict attainment' /tmp/autoscale.a.txt; \
+	grep -q 'virtual: verdict cold-starts' /tmp/autoscale.a.txt; \
+	echo "autoscale: ok (byte-identical across -parallel and -stream)"
 
 # End-to-end smoke of the live observability plane: run a small scale
 # scenario with -serve, poll /healthz until the run reports done, then
@@ -150,4 +170,4 @@ attrib:
 	@sort -t' ' -k2 -rn FLAME_table1.folded | head -5
 
 clean:
-	rm -f BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json ATTRIB_table1.json FLAME_table1.folded
+	rm -f BENCH_devent.json BENCH_paper.json BENCH_obs.json BENCH_fleet.json BENCH_autoscale.json ATTRIB_table1.json FLAME_table1.folded

@@ -85,14 +85,29 @@ func header(line string) bool {
 	return false
 }
 
-// scan parses the event stream, calling fn per event, and returns the
-// count of benchmark result lines and whether any package failed.
-func scan(path string, fn func(ev event)) (benches int, failedPkgs []string, err error) {
+// scan parses the event stream, calling onLine per reassembled output
+// line, and returns the count of benchmark result lines and whether
+// any package failed. Output events carry fragments, not lines — the
+// testing package flushes a result like "BenchmarkChurn \t" and
+// "     1\t 32739 ns/op\n" as separate events when timing runs long —
+// so fragments are stitched per (package, test) until a newline
+// completes the line. Matching on raw events would miss every split
+// result.
+func scan(path string, onLine func(line string)) (benches int, failedPkgs []string, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer f.Close()
+	pending := make(map[string]string)
+	emit := func(line string) {
+		if benchResult(strings.TrimSpace(line)) {
+			benches++
+		}
+		if onLine != nil {
+			onLine(line)
+		}
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	lineNo := 0
@@ -112,15 +127,27 @@ func scan(path string, fn func(ev event)) (benches int, failedPkgs []string, err
 		if ev.Action == "fail" && ev.Test == "" {
 			failedPkgs = append(failedPkgs, ev.Package)
 		}
-		if ev.Action == "output" && benchResult(strings.TrimSpace(ev.Output)) {
-			benches++
-		}
-		if fn != nil {
-			fn(ev)
+		if ev.Action == "output" {
+			key := ev.Package + "\x00" + ev.Test
+			buf := pending[key] + ev.Output
+			for {
+				i := strings.IndexByte(buf, '\n')
+				if i < 0 {
+					break
+				}
+				emit(buf[:i])
+				buf = buf[i+1:]
+			}
+			pending[key] = buf
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return 0, nil, err
+	}
+	for _, buf := range pending {
+		if buf != "" {
+			emit(buf)
+		}
 	}
 	if lineNo == 0 {
 		return 0, nil, fmt.Errorf("empty file")
@@ -144,11 +171,7 @@ func check(path string) error {
 }
 
 func text(path string, w *os.File) error {
-	_, _, err := scan(path, func(ev event) {
-		if ev.Action != "output" {
-			return
-		}
-		line := strings.TrimRight(ev.Output, "\n")
+	_, _, err := scan(path, func(line string) {
 		trimmed := strings.TrimSpace(line)
 		if benchResult(trimmed) || header(trimmed) {
 			fmt.Fprintln(w, line)

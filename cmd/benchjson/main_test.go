@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecord(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data := ""
+	for _, l := range lines {
+		data += l + "\n"
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A result the testing package flushed as two output events — the
+// name in one fragment, the timings (and newline) in the next — must
+// still count as one benchmark. This is how `go test -json` actually
+// records any benchmark slow enough to flush mid-line.
+func TestScanStitchesSplitResultLines(t *testing.T) {
+	path := writeRecord(t,
+		`{"Action":"output","Package":"p","Test":"BenchmarkX","Output":"BenchmarkX         \t"}`,
+		`{"Action":"output","Package":"p","Test":"BenchmarkX","Output":"       1\t     32739 ns/op\n"}`,
+		`{"Action":"pass","Package":"p"}`,
+	)
+	benches, failed, err := scan(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches != 1 || len(failed) != 0 {
+		t.Errorf("benches=%d failed=%v, want 1 stitched result", benches, failed)
+	}
+}
+
+// Fragments from different packages interleave in the stream; each
+// package's partial line must accumulate independently.
+func TestScanKeepsPackagesSeparate(t *testing.T) {
+	path := writeRecord(t,
+		`{"Action":"output","Package":"a","Test":"BenchmarkA","Output":"BenchmarkA \t"}`,
+		`{"Action":"output","Package":"b","Test":"BenchmarkB","Output":"BenchmarkB \t"}`,
+		`{"Action":"output","Package":"a","Test":"BenchmarkA","Output":"1\t10 ns/op\n"}`,
+		`{"Action":"output","Package":"b","Test":"BenchmarkB","Output":"1\t20 ns/op\n"}`,
+	)
+	benches, _, err := scan(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches != 2 {
+		t.Errorf("benches=%d, want 2 across interleaved packages", benches)
+	}
+}
+
+// A fragment left unterminated at EOF (a truncated record) still
+// surfaces as a line, so a result without a trailing newline counts.
+func TestScanFlushesTrailingFragment(t *testing.T) {
+	path := writeRecord(t,
+		`{"Action":"output","Package":"p","Test":"BenchmarkX","Output":"BenchmarkX \t1\t5 ns/op"}`,
+	)
+	benches, _, err := scan(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches != 1 {
+		t.Errorf("benches=%d, want trailing fragment flushed", benches)
+	}
+}
+
+func TestScanRejectsMalformed(t *testing.T) {
+	if _, _, err := scan(writeRecord(t, `not json`), nil); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, _, err := scan(writeRecord(t, `{"Package":"p"}`), nil); err == nil {
+		t.Error("event without Action accepted")
+	}
+}
+
+func TestCheckFlagsFailedPackage(t *testing.T) {
+	path := writeRecord(t,
+		`{"Action":"output","Package":"p","Output":"BenchmarkX 1 10 ns/op\n"}`,
+		`{"Action":"fail","Package":"p"}`,
+	)
+	if err := check(path); err == nil {
+		t.Error("failed package passed check")
+	}
+}

@@ -10,6 +10,7 @@
 //	gpufaas repart -spec policy=knee,interval=10s
 //	gpufaas fleet -gpus80 2 -gpus40 1 -demands "llama:30:20;resnet:10:1"
 //	gpufaas fleet -gpus80 64 -gpus40 64 -apps 56 -horizon 10m
+//	gpufaas autoscale -gpus 6 -horizon 2h -serve :9190
 //	gpufaas tracediff -a a.json -b b.json
 package main
 
@@ -56,6 +57,8 @@ func main() {
 		err = runPack(os.Args[2:])
 	case "fleet":
 		err = runFleet(os.Args[2:])
+	case "autoscale":
+		err = runAutoscaleCell(os.Args[2:])
 	case "repart":
 		err = runRepart(os.Args[2:])
 	case "tracediff":
@@ -70,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|fleet|repart|tracediff> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gpufaas <multiplex|moldesign|sweep|pack|fleet|autoscale|repart|tracediff> [flags]`)
 	os.Exit(2)
 }
 
@@ -644,6 +647,72 @@ func runFleet(args []string) error {
 		r.Rebalances, r.RebalancesApplied, r.Moved, r.MaxGap, r.ScratchInfeasible)
 	fmt.Printf("  drain:         %d evicted, final frag %.4f, makespan %s\n",
 		r.Evicted, r.FinalFrag, r.Makespan.Round(time.Millisecond))
+	serveLinger(srv)
+	return nil
+}
+
+// runAutoscaleCell runs one serving cell of the SLO-driven autoscaling
+// scenario: diurnal, bursty traffic against either the hybrid
+// autoscaler (default) or a static block count (-static N), printing
+// demand, latency, economics, and scaling activity.
+//
+//	gpufaas autoscale -gpus 6 -horizon 2h -serve :9190
+//	gpufaas autoscale -gpus 6 -static 6 -horizon 2h
+func runAutoscaleCell(args []string) error {
+	fs := flag.NewFlagSet("autoscale", flag.ExitOnError)
+	gpus := fs.Int("gpus", 0, "provider pool size (default 6)")
+	static := fs.Int("static", 0, "provision this many blocks statically instead of autoscaling")
+	horizon := fs.Duration("horizon", 0, "traffic horizon on the virtual clock (default 2h)")
+	hold := fs.Duration("hold", 0, "keep the cell open this long after drain (observes scale-to-zero)")
+	seed := fs.Int64("seed", 0, "traffic and shed RNG seed (default 1)")
+	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := startServe(*serveAddr)
+	if err != nil {
+		return err
+	}
+	cfg := core.AutoscaleConfig{
+		GPUs: *gpus, StaticBlocks: *static, Seed: *seed, DrainHold: *hold,
+	}.WithDefaults()
+	if *horizon > 0 {
+		cfg.Traffic.Horizon = *horizon
+	}
+	if srv != nil {
+		cfg.TSDB = &tsdb.Config{}
+		cfg.OnDB = func(db *tsdb.DB) { srv.AttachDB("autoscale", db) }
+		cfg.OnCollector = func(c *obs.Collector) { c.SetSink(srv.Tail("autoscale", 0)) }
+	}
+	r, err := core.RunAutoscale(cfg)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		r.Obs.Close() // flush parked daemon spans into the live tail
+	}
+	mode := fmt.Sprintf("static %d blocks", cfg.StaticBlocks)
+	if r.Autoscaled {
+		mode = fmt.Sprintf("autoscaled %d..%d blocks", cfg.Policy.MinBlocks, r.Blocks)
+	}
+	fmt.Printf("autoscale: %d GPUs, %s, horizon %s, seed %d\n",
+		cfg.GPUs, mode, cfg.Traffic.Horizon, cfg.Seed)
+	fmt.Printf("  traffic:     %d users, peak %.2f req/s, period %s, %d bursts\n",
+		cfg.Traffic.Users, float64(cfg.Traffic.Users)*cfg.Traffic.PerUserRate,
+		cfg.Traffic.Period, len(cfg.Traffic.Bursts))
+	fmt.Printf("  demand:      %d arrivals, %d completed, %d good, %d shed, %d failed\n",
+		r.Arrivals, r.Completed, r.Good, r.Shed, r.Failed)
+	fmt.Printf("  slo:         %s@%.2f -> attainment %.1f%%, shed rate %.1f%%\n",
+		cfg.SLOLatency, cfg.SLOTarget, r.Attainment*100, r.ShedRate*100)
+	fmt.Printf("  latency:     p50 %s, p95 %s, p99 %s (served only)\n",
+		r.Latencies.Percentile(50).Round(time.Millisecond),
+		r.Latencies.Percentile(95).Round(time.Millisecond),
+		r.Latencies.Percentile(99).Round(time.Millisecond))
+	fmt.Printf("  economics:   %.0f GPU-seconds, %.2f per good task, %d cold starts (%.1f tasks each)\n",
+		r.GPUSeconds, r.GPUSecondsPerGood, r.ColdStarts, r.TasksPerColdStart)
+	fmt.Printf("  scaling:     %d out, %d in, peak %d blocks, final %d\n",
+		r.ScaleOuts, r.ScaleIns, r.PeakBlocks, r.FinalBlocks)
+	fmt.Printf("  makespan:    %s (%d events)\n", r.Makespan.Round(time.Millisecond), r.Events)
 	serveLinger(srv)
 	return nil
 }

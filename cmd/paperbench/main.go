@@ -60,8 +60,12 @@ artifacts:
              seeded churn, across a 0.5x/1.0x/1.5x offered-load grid
              (see -gpus80/-gpus40/-apps/-horizon/-arrival/-seed;
              purely virtual, byte-identical at any -parallel level)
-  all        everything, in paper order (repart, attrib, scale, and
-             fleet excluded: run them explicitly)
+  autoscale  SLO-driven autoscaling: hybrid block scaling + admission
+             control against static provisioning baselines on the same
+             diurnal, bursty traffic (see -gpus/-horizon/-seed; purely
+             virtual, byte-identical at any -parallel level)
+  all        everything, in paper order (repart, attrib, scale, fleet,
+             and autoscale excluded: run them explicitly)
 
 modes:
   tracediff  compare two attribution JSON artifacts (written with
@@ -129,7 +133,10 @@ fleet flags (-arrival and -seed apply here too):
   -gpus40 N        A100-40GB parts in the inventory (default 64)
   -apps N          distinct applications churning (default 56)
   -horizon D       tenant-arrival horizon on the virtual clock
-                   (default 10m)`)
+                   (default 10m)
+
+autoscale flags (-horizon and -seed apply here too):
+  -gpus N          provider pool size, one GPU per node (default 6)`)
 	os.Exit(2)
 }
 
@@ -169,7 +176,8 @@ func main() {
 	gpus80 := fs.Int("gpus80", 0, "fleet: A100-80GB parts (default 64)")
 	gpus40 := fs.Int("gpus40", 0, "fleet: A100-40GB parts (default 64)")
 	apps := fs.Int("apps", 0, "fleet: distinct applications (default 56)")
-	horizon := fs.Duration("horizon", 0, "fleet: arrival horizon on the virtual clock (default 10m)")
+	horizon := fs.Duration("horizon", 0, "fleet/autoscale: arrival horizon on the virtual clock")
+	gpus := fs.Int("gpus", 0, "autoscale: provider pool size (default 6)")
 	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address, e.g. 127.0.0.1:9190")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -290,6 +298,28 @@ func main() {
 			}
 		}
 		err = report.Fleet(w, opts)
+	case "autoscale":
+		opts := report.AutoscaleOptions{
+			GPUs: *gpus, Horizon: *horizon, Seed: *seed,
+			Stream: *stream,
+		}
+		if srv != nil {
+			// One series store per cell (autoscaled and the static
+			// baselines); with -stream a live span tail tees into each
+			// cell's sink.
+			opts.Telemetry = &report.FleetTelemetry{
+				TSDB: &tsdb.Config{},
+				OnCellDB: func(cell string, db *tsdb.DB) {
+					srv.AttachDB("autoscale/"+cell, db)
+				},
+			}
+			if *stream {
+				opts.WrapSink = func(cell string, base obs.SpanSink) obs.SpanSink {
+					return live.Tee(base, srv.Tail("autoscale/"+cell, 0))
+				}
+			}
+		}
+		err = report.Autoscale(w, opts)
 	case "all":
 		err = report.All(w, *completions)
 	default:
@@ -300,10 +330,10 @@ func main() {
 	}
 	// The scale and fleet artifacts run their own span streams; the
 	// generic instrumented rerun applies to everything else.
-	if err == nil && artifact != "scale" && artifact != "fleet" && (*traceOut != "" || *metricsOut != "") {
+	if err == nil && artifact != "scale" && artifact != "fleet" && artifact != "autoscale" && (*traceOut != "" || *metricsOut != "") {
 		err = writeObservability(*traceOut, *metricsOut, *completions, *stream, *sample)
 	}
-	if err == nil && artifact != "scale" && artifact != "fleet" && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
+	if err == nil && artifact != "scale" && artifact != "fleet" && artifact != "autoscale" && (*attribOut != "" || *flameOut != "" || *alertsOut != "") {
 		err = writeAttribution(*attribOut, *flameOut, *alertsOut, *sloSpec, *completions, *stream)
 	}
 	if err != nil {

@@ -1,0 +1,254 @@
+package autoscale
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/faas"
+	"repro/internal/faas/htex"
+	"repro/internal/faas/provider"
+	"repro/internal/gpuctl"
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// rig is a minimal autoscaling cell: a CPU htex over a SlurmProvider
+// pool, a DFK sharing the controller's collector, and a tsdb for the
+// burn signal.
+type rig struct {
+	env   *devent.Env
+	col   *obs.Collector
+	db    *tsdb.DB
+	slurm *provider.SlurmProvider
+	ex    *htex.HTEX
+	dfk   *faas.DFK
+}
+
+func newRig(t testing.TB, pool, blocks int) *rig {
+	t.Helper()
+	env := devent.NewEnv()
+	col := obs.New(env)
+	col.SetScope("test")
+	db := tsdb.New(col.Metrics(), env, tsdb.Config{})
+	nodes := make([]*gpuctl.Node, pool)
+	for i := range nodes {
+		nodes[i] = gpuctl.NewNode(env)
+	}
+	slurm := provider.NewSlurm(env, 0, nodes...)
+	ex, err := htex.New(env, htex.Config{Label: "cpu", MaxWorkers: 1, Provider: slurm, Blocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfk := faas.NewDFK(env, faas.Config{Collector: col}, ex)
+	dfk.Register(faas.App{Name: "work", Executor: "cpu", Fn: func(inv *faas.Invocation) (any, error) {
+		inv.Compute(100 * time.Millisecond)
+		return nil, nil
+	}})
+	if err := dfk.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{env: env, col: col, db: db, slurm: slurm, ex: ex, dfk: dfk}
+}
+
+// testSpec is a fast policy for unit timelines.
+func testSpec() Spec {
+	return Spec{
+		Interval:    time.Second,
+		Window:      2 * time.Second,
+		MinBlocks:   0,
+		MaxBlocks:   3,
+		CooldownOut: time.Second,
+		CooldownIn:  2 * time.Second,
+		IdleAfter:   3 * time.Second,
+	}
+}
+
+func (r *rig) controller(t testing.TB, spec Spec) *Controller {
+	t.Helper()
+	c, err := New(Config{
+		Env: r.env, Obs: r.col, DB: r.db, Spec: spec,
+		Exec: r.ex, DFK: r.dfk, Apps: []string{"work"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// burn appends a burn sample for "work" at the current virtual time.
+func (r *rig) burn(v float64) {
+	r.db.EventSeries("slo:burn", 0, obs.L("app", "work")).Append(r.env.Now(), v)
+}
+
+// Sustained burn above BurnHigh grows the block pool up to MaxBlocks,
+// respecting the scale-out cooldown.
+func TestScaleOutOnBurn(t *testing.T) {
+	r := newRig(t, 3, 1)
+	c := r.controller(t, testSpec())
+	c.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		for i := 0; i < 8; i++ {
+			r.burn(2.0) // well over BurnHigh=1
+			p.Sleep(time.Second)
+		}
+		if got := r.ex.Blocks(); got != 3 {
+			t.Errorf("blocks = %d, want MaxBlocks=3 under sustained burn", got)
+		}
+		if c.ScaleOuts() == 0 {
+			t.Error("no scale-outs recorded")
+		}
+		c.Stop()
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := r.col.Metrics()
+	if got := m.Counter("autoscale_scale_out_total").Value(); got != 2 {
+		t.Errorf("autoscale_scale_out_total = %v, want 2 (1 -> 3 blocks)", got)
+	}
+}
+
+// With no arrivals and no burn the controller scales to zero after
+// IdleAfter, then a queued submission wakes it back up.
+func TestScaleToZeroAndWake(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := r.controller(t, testSpec())
+	c.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		p.Sleep(6 * time.Second) // idle: IdleAfter=3s of empty ticks
+		if got := r.ex.Blocks(); got != 0 {
+			t.Fatalf("blocks = %d, want 0 after idle window", got)
+		}
+		if got := r.slurm.Granted(); got != 0 {
+			t.Fatalf("provider still holds %d nodes at zero", got)
+		}
+		// A submission at zero queues, and the next tick wakes a block.
+		fut := r.dfk.Submit("work")
+		if _, err := fut.Result(p); err != nil {
+			t.Fatalf("task across scale-from-zero: %v", err)
+		}
+		if got := r.ex.Blocks(); got == 0 {
+			t.Error("controller did not wake from zero")
+		}
+		c.Stop()
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ScaleIns() == 0 || c.ScaleOuts() == 0 {
+		t.Errorf("transitions = out:%d in:%d, want both", c.ScaleOuts(), c.ScaleIns())
+	}
+	if bs := c.BlockSeconds(); bs <= 0 {
+		t.Errorf("BlockSeconds = %v, want positive", bs)
+	}
+}
+
+// Burn beyond ShedFull sheds at MaxShed; with MaxShed=1 every submit
+// fails fast with ErrShed and the retry-after hint.
+func TestAdmissionShedsUnderExtremeBurn(t *testing.T) {
+	spec := testSpec()
+	spec.MaxShed = 1.0
+	spec.RetryAfter = 45 * time.Second
+	r := newRig(t, 2, 1)
+	c := r.controller(t, spec)
+	c.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		r.burn(10) // far beyond ShedFull=4
+		p.Sleep(time.Second + time.Millisecond)
+		if got := c.ShedProbability(); got != 1.0 {
+			t.Fatalf("shed probability = %v, want 1.0", got)
+		}
+		_, err := r.dfk.Submit("work").Result(p)
+		if !errors.Is(err, faas.ErrShed) {
+			t.Fatalf("err = %v, want ErrShed", err)
+		}
+		var shed *faas.ShedError
+		if !errors.As(err, &shed) || shed.RetryAfter != 45*time.Second {
+			t.Errorf("shed error = %+v, want RetryAfter=45s", shed)
+		}
+		c.Stop()
+		// Stop removes the hook: submissions flow again.
+		if _, err := r.dfk.Submit("work").Result(p); err != nil {
+			t.Errorf("submit after Stop: %v", err)
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shedFor ramps linearly between ShedStart and ShedFull and caps at
+// MaxShed.
+func TestShedRamp(t *testing.T) {
+	c := &Controller{spec: Spec{ShedStart: 2, ShedFull: 4, MaxShed: 0.8}}
+	cases := []struct {
+		burn, want float64
+	}{
+		{0, 0}, {2, 0}, {3, 0.4}, {4, 0.8}, {100, 0.8},
+	}
+	for _, tc := range cases {
+		if got := c.shedFor(tc.burn); got != tc.want {
+			t.Errorf("shedFor(%v) = %v, want %v", tc.burn, got, tc.want)
+		}
+	}
+}
+
+// Backlog pressure alone (no SLO violations yet) also scales out.
+func TestScaleOutOnBacklog(t *testing.T) {
+	spec := testSpec()
+	spec.BacklogPerWorker = 2
+	r := newRig(t, 2, 1)
+	c := r.controller(t, spec)
+	c.Start()
+	r.env.Spawn("main", func(p *devent.Proc) {
+		// 1 worker x 100ms tasks: 40 arrivals in one tick leave > 2
+		// backlog per worker.
+		futs := make([]*faas.Future, 40)
+		for i := range futs {
+			futs[i] = r.dfk.Submit("work")
+		}
+		p.Sleep(1500 * time.Millisecond)
+		if got := r.ex.Blocks(); got < 2 {
+			t.Errorf("blocks = %d, want scale-out on backlog", got)
+		}
+		for _, f := range futs {
+			if _, err := f.Result(p); err != nil {
+				t.Errorf("task: %v", err)
+			}
+		}
+		c.Stop()
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{MinBlocks: -1},
+		{MinBlocks: 4, MaxBlocks: 2},
+		{BurnLow: 2, BurnHigh: 1},
+		{ShedStart: 5, ShedFull: 4},
+		{MaxShed: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated: %+v", i, s)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}
+
+func TestNewRejectsMissingInputs(t *testing.T) {
+	r := newRig(t, 1, 1)
+	if _, err := New(Config{Env: r.env, Obs: r.col, Exec: r.ex, Apps: []string{"a"}}); err == nil {
+		t.Error("New without DB succeeded")
+	}
+	if _, err := New(Config{Env: r.env, Obs: r.col, DB: r.db, Exec: r.ex}); err == nil {
+		t.Error("New without apps succeeded")
+	}
+}

@@ -1,0 +1,39 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+)
+
+// BenchmarkControllerLoop measures the control-plane overhead of the
+// autoscaler itself: a two-minute virtual timeline of 1s ticks with
+// the burn signal oscillating across both thresholds, driving the
+// full observe -> shed -> scale machinery (including provider grants
+// and releases) with no task traffic to dilute the measurement.
+func BenchmarkControllerLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := newRig(b, 3, 1)
+		c := r.controller(b, testSpec())
+		c.Start()
+		r.env.Spawn("driver", func(p *devent.Proc) {
+			for tick := 0; tick < 120; tick++ {
+				if tick/10%2 == 0 {
+					r.burn(2.0) // above BurnHigh: pressure out
+				} else {
+					r.burn(0.1) // below BurnLow: pressure in
+				}
+				p.Sleep(time.Second)
+			}
+			c.Stop()
+		})
+		if err := r.env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if c.ScaleOuts() == 0 || c.ScaleIns() == 0 {
+			b.Fatalf("controller idle: out=%d in=%d", c.ScaleOuts(), c.ScaleIns())
+		}
+	}
+}

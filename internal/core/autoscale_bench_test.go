@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTrafficHalfMillionArrivals measures the thinning sampler on
+// a million-user cell: half a diurnal cycle from trough to peak at
+// 200 req/s aggregate, roughly 180k accepted arrivals per iteration.
+func BenchmarkTrafficHalfMillionArrivals(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTraffic(TrafficConfig{
+			Users:       1_000_000,
+			PerUserRate: 2e-4,
+			Period:      time.Hour,
+			TroughFrac:  0.1,
+			Horizon:     30 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := tr.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("sampler produced no arrivals")
+		}
+	}
+}
+
+// BenchmarkAutoscaleCell runs the full autoscaled serving cell — two
+// 10-minute diurnal cycles with a burst, the SLO monitor, and the
+// hybrid controller — end to end on the virtual clock.
+func BenchmarkAutoscaleCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := cellCfg(0)
+		cfg.Policy.Interval = 15 * time.Second
+		r, err := RunAutoscale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Arrivals == 0 || r.ScaleOuts == 0 {
+			b.Fatalf("cell idle: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// cellCfg is the shared small-scale serving cell: two 10-minute
+// diurnal cycles with a night cutoff and a 3× burst at the first
+// peak, over a 4-GPU pool.
+func cellCfg(static int) AutoscaleConfig {
+	return AutoscaleConfig{
+		GPUs:        4,
+		GrantDelay:  10 * time.Second,
+		WorkerInit:  2 * time.Second,
+		ServiceTime: 500 * time.Millisecond,
+		Traffic: TrafficConfig{
+			Users:       1000,
+			PerUserRate: 2e-3, // peak 2 req/s
+			Period:      10 * time.Minute,
+			TroughFrac:  0.02,
+			Cutoff:      0.2,
+			Horizon:     20 * time.Minute,
+			Bursts:      []Burst{{At: 4 * time.Minute, Duration: time.Minute, Multiplier: 3}},
+		},
+		SLOLatency:   10 * time.Second,
+		SLOTarget:    0.9,
+		SLOWindow:    2 * time.Minute,
+		StaticBlocks: static,
+	}
+}
+
+func runCell(t *testing.T, static int) *AutoscaleResult {
+	t.Helper()
+	cfg := cellCfg(static)
+	cfg.Policy.Interval = 15 * time.Second
+	r, err := RunAutoscale(cfg)
+	if err != nil {
+		t.Fatalf("static=%d: %v", static, err)
+	}
+	return r
+}
+
+// The acceptance criterion of the autoscaling experiment: on the same
+// diurnal traffic, the hybrid autoscaler beats peak-static
+// provisioning on cost and trough-static provisioning on SLO
+// attainment — it is not dominated on either axis.
+func TestAutoscaleBeatsStaticProvisioning(t *testing.T) {
+	auto := runCell(t, 0)
+	static1 := runCell(t, 1)
+	static4 := runCell(t, 4)
+
+	if auto.Arrivals != static1.Arrivals || auto.Arrivals != static4.Arrivals {
+		t.Fatalf("cells saw different demand: %d/%d/%d arrivals",
+			auto.Arrivals, static1.Arrivals, static4.Arrivals)
+	}
+	// Cost axis: well under peak-static spend.
+	if auto.GPUSeconds >= 0.7*static4.GPUSeconds {
+		t.Errorf("GPU-seconds = %.0f, not under 70%% of peak-static %.0f",
+			auto.GPUSeconds, static4.GPUSeconds)
+	}
+	// Attainment axis: far above trough-static, and meeting the SLO
+	// target outright (everything is deterministic in the seed).
+	if auto.Attainment <= static1.Attainment+0.2 {
+		t.Errorf("attainment = %.3f, not clearly above trough-static %.3f",
+			auto.Attainment, static1.Attainment)
+	}
+	if auto.Attainment < 0.9 {
+		t.Errorf("attainment = %.3f, below the 0.9 objective", auto.Attainment)
+	}
+	// The machinery actually engaged: both scaling directions and
+	// burst-time shedding, with no task failing for any other reason.
+	if auto.ScaleOuts == 0 || auto.ScaleIns == 0 {
+		t.Errorf("transitions out=%d in=%d, want both", auto.ScaleOuts, auto.ScaleIns)
+	}
+	if auto.PeakBlocks != 4 {
+		t.Errorf("peak blocks = %d, want the full pool under the burst", auto.PeakBlocks)
+	}
+	if auto.Shed == 0 {
+		t.Error("burst produced no shedding")
+	}
+	if auto.Failed != 0 || static1.Failed != 0 || static4.Failed != 0 {
+		t.Errorf("failures: auto=%d s1=%d s4=%d", auto.Failed, static1.Failed, static4.Failed)
+	}
+}
+
+// With a post-drain hold longer than the idle window, the autoscaler
+// releases every block back to the provider: true scale-to-zero.
+func TestAutoscaleScalesToZeroAfterDrain(t *testing.T) {
+	cfg := cellCfg(0)
+	cfg.Traffic.Horizon = 10 * time.Minute
+	cfg.Traffic.Bursts = nil
+	cfg.Policy.Interval = 15 * time.Second
+	cfg.Policy.IdleAfter = time.Minute
+	cfg.DrainHold = 3 * time.Minute
+	r, err := RunAutoscale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalBlocks != 0 {
+		t.Errorf("final blocks = %d, want 0 after the idle window", r.FinalBlocks)
+	}
+	if r.ScaleIns == 0 {
+		t.Error("no scale-ins recorded")
+	}
+	// The hold at zero costs nothing: the integral is strictly below
+	// one-block-for-the-whole-run.
+	if max := (r.Makespan + cfg.DrainHold).Seconds(); r.GPUSeconds >= max {
+		t.Errorf("GPU-seconds = %.0f, want under %.0f (idle time at zero must be free)", r.GPUSeconds, max)
+	}
+}
+
+// The scenario is deterministic in (config, seed): two runs agree on
+// every reported scalar.
+func TestAutoscaleScenarioDeterministic(t *testing.T) {
+	a := runCell(t, 0)
+	b := runCell(t, 0)
+	if a.Arrivals != b.Arrivals || a.Good != b.Good || a.Shed != b.Shed ||
+		a.GPUSeconds != b.GPUSeconds || a.ScaleOuts != b.ScaleOuts ||
+		a.ScaleIns != b.ScaleIns || a.Makespan != b.Makespan || a.Events != b.Events {
+		t.Errorf("runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Latencies.Percentile(95) != b.Latencies.Percentile(95) {
+		t.Errorf("p95 diverged: %v vs %v", a.Latencies.Percentile(95), b.Latencies.Percentile(95))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/tsdb"
+	"repro/internal/rightsize"
 	"repro/internal/simgpu"
 )
 
@@ -230,10 +231,11 @@ func RunMultiplex(cfg MultiplexConfig) (*MultiplexResult, error) {
 				accels[i] = "0"
 			}
 			if c.Mode == ModeMPS {
-				pcts = make([]int, c.Processes)
-				for i := range pcts {
-					pcts[i] = 100 / c.Processes
+				shares, err := rightsize.EqualShares(dev.Spec(), c.Processes)
+				if err != nil {
+					return err
 				}
+				pcts = shares
 			}
 		case ModeMIG:
 			layout, err := MIGLayoutFor(c.Processes)

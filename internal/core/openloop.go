@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"math/rand"
 	"time"
 
@@ -9,6 +8,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/rightsize"
 	"repro/internal/simgpu"
 )
 
@@ -122,9 +122,9 @@ func RunOpenLoop(cfg OpenLoopConfig) (*OpenLoopResult, error) {
 				accels[i] = "0"
 			}
 			if cfg.Mode == ModeMPS {
-				pcts = make([]int, cfg.Processes)
-				for i := range pcts {
-					pcts[i] = 100 / cfg.Processes
+				pcts, err = rightsize.EqualShares(dev.Spec(), cfg.Processes)
+				if err != nil {
+					return err
 				}
 			}
 		case ModeMIG:
@@ -178,8 +178,28 @@ func RunOpenLoop(cfg OpenLoopConfig) (*OpenLoopResult, error) {
 	return res, nil
 }
 
-// stableLatencies compares the first and last arrival quartiles: a
-// queue above capacity shows ever-growing waits.
+// Stability test parameters. A queue above capacity shows waits that
+// grow with every arrival, so the mean latency of the last quartile of
+// arrivals ends up a multiple of the first quartile's. The test is
+// purely relative — both means are in seconds and only their ratio
+// matters — with an absolute floor (also in seconds) below which
+// growth is considered jitter, not divergence: doubling from 0.8s to
+// 1.6s on a warm-up transient is not an unbounded backlog.
+const (
+	// stableGrowthLimit is the maximum last/first quartile mean ratio
+	// still considered bounded (dimensionless).
+	stableGrowthLimit = 2.0
+	// stableFloorSeconds exempts runs whose last-quartile mean stays
+	// under this many seconds regardless of ratio.
+	stableFloorSeconds = 5.0
+)
+
+// stableLatencies compares the mean end-to-end latency of the first
+// and last arrival quartiles: bounded backlogs keep the two within
+// stableGrowthLimit of each other, diverging queues do not. Earlier
+// revisions used `last <= 2*max(first,1)+10`, which mixed a unitless
+// slack constant with seconds and declared clearly-diverging short
+// runs stable whenever the absolute waits were still under ~12s.
 func stableLatencies(ordered []time.Duration) bool {
 	q := len(ordered) / 4
 	if q == 0 {
@@ -194,5 +214,5 @@ func stableLatencies(ordered []time.Duration) bool {
 	}
 	first := mean(ordered[:q])
 	last := mean(ordered[len(ordered)-q:])
-	return last <= 2*math.Max(first, 1)+10
+	return last <= stableFloorSeconds || last <= stableGrowthLimit*first
 }

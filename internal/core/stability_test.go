@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// ramp builds n latencies linearly interpolated from first to last
+// seconds — the signature of a queue whose waits grow with every
+// arrival when last >> first.
+func ramp(n int, first, last float64) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		frac := float64(i) / float64(n-1)
+		out[i] = time.Duration((first + (last-first)*frac) * float64(time.Second))
+	}
+	return out
+}
+
+func flat(n int, secs float64) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(secs * float64(time.Second))
+	}
+	return out
+}
+
+func TestStableLatenciesBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		lats []time.Duration
+		want bool
+	}{
+		// Too few samples to form quartiles: trivially stable.
+		{"empty", nil, true},
+		{"three samples", ramp(3, 1, 100), true},
+		// Flat latencies at any magnitude are stable.
+		{"flat small", flat(40, 0.5), true},
+		{"flat large", flat(40, 30), true},
+		// Growth below the floor is jitter, not divergence, no matter
+		// the ratio: 0.2s → 4s quadruples but stays under
+		// stableFloorSeconds.
+		{"growth under floor", ramp(40, 0.2, 4.5), true},
+		// Growth above the floor but within the ratio limit is stable:
+		// first-quartile mean ~11s, last ~19s, ratio < 2.
+		{"bounded growth", ramp(40, 10, 20), true},
+		// The regression the fix locks in: the old test's `2*max(first,
+		// 1)+10` slack called a 0.2s → 12s divergence stable (last mean
+		// ~10.6s was under its ~13s absolute threshold) even though
+		// waits grew ~7× quartile over quartile. Relative growth of >2×
+		// above the floor is unstable.
+		{"diverging short run", ramp(40, 0.2, 12), false},
+		// Clearly diverging queue: 1s → 100s.
+		{"diverging", ramp(40, 1, 100), false},
+	}
+	for _, tc := range cases {
+		if got := stableLatencies(tc.lats); got != tc.want {
+			t.Errorf("%s: stableLatencies = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// The exact boundary: last-quartile mean at the growth limit is
+// stable, one step past it is not.
+func TestStableLatenciesGrowthBoundary(t *testing.T) {
+	// 8 samples → quartile size 2. First quartile mean 10s.
+	mk := func(lastMean float64) []time.Duration {
+		return []time.Duration{
+			10 * time.Second, 10 * time.Second,
+			11 * time.Second, 12 * time.Second, 13 * time.Second, 14 * time.Second,
+			time.Duration(lastMean * float64(time.Second)), time.Duration(lastMean * float64(time.Second)),
+		}
+	}
+	if !stableLatencies(mk(stableGrowthLimit * 10)) {
+		t.Error("last/first exactly at the growth limit should be stable")
+	}
+	if stableLatencies(mk(stableGrowthLimit*10 + 1)) {
+		t.Error("last/first past the growth limit should be unstable")
+	}
+}

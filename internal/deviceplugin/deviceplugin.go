@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/gpuctl"
+	"repro/internal/rightsize"
 	"repro/internal/simgpu"
 )
 
@@ -251,10 +252,16 @@ func (p *Plugin) Allocate(ids []string) (*AllocateResponse, error) {
 	var visible []string
 	pct := 0
 	for _, id := range ids {
-		accel, replica := splitReplica(id)
+		accel, replica, hasReplica := splitReplica(id)
 		visible = append(visible, accel)
-		if replica && p.cfg.Sharing != nil && p.cfg.Sharing.Strategy == SharingMPS {
-			pct = 100 / p.cfg.Sharing.Replicas
+		if hasReplica && p.cfg.Sharing != nil && p.cfg.Sharing.Strategy == SharingMPS {
+			share, err := p.replicaShare(accel, replica)
+			if err != nil {
+				return nil, err
+			}
+			// A container holding several replicas gets their combined
+			// percentage.
+			pct += share
 		}
 		p.allocated[id] = true
 	}
@@ -278,11 +285,39 @@ func (p *Plugin) Free(ids []string) error {
 	return nil
 }
 
-// splitReplica strips a "::n" replica suffix, reporting whether one
-// was present.
-func splitReplica(id string) (string, bool) {
-	if i := strings.Index(id, "::"); i >= 0 {
-		return id[:i], true
+// replicaShare is replica r's GPU percentage under MPS sharing:
+// the device's SMs are apportioned across Replicas by largest
+// remainder (rightsize.EqualShares), so the shares sum to exactly 100
+// — naive 100/Replicas truncation stranded up to Replicas-1 percent
+// (3 replicas got 33+33+33 = 99%).
+func (p *Plugin) replicaShare(accel string, r int) (int, error) {
+	idx, err := strconv.Atoi(accel)
+	if err != nil {
+		return 0, fmt.Errorf("deviceplugin: replica on non-GPU id %q: %v", accel, err)
 	}
-	return id, false
+	devs := p.node.Devices()
+	if idx < 0 || idx >= len(devs) {
+		return 0, fmt.Errorf("deviceplugin: device index %d out of range", idx)
+	}
+	shares, err := rightsize.EqualShares(devs[idx].Spec(), p.cfg.Sharing.Replicas)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r >= len(shares) {
+		return 0, fmt.Errorf("deviceplugin: replica index %d out of range", r)
+	}
+	return shares[r], nil
+}
+
+// splitReplica strips a "::n" replica suffix, returning the replica
+// index and whether one was present.
+func splitReplica(id string) (string, int, bool) {
+	if i := strings.Index(id, "::"); i >= 0 {
+		r, err := strconv.Atoi(id[i+2:])
+		if err != nil {
+			return id[:i], 0, false
+		}
+		return id[:i], r, true
+	}
+	return id, 0, false
 }

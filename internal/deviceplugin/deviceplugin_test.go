@@ -2,6 +2,7 @@ package deviceplugin
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 
 	"repro/internal/devent"
@@ -74,6 +75,46 @@ func TestMPSReplicasExportPercentage(t *testing.T) {
 	}
 	if resp.Envs[gpuctl.EnvMPSThreadPct] != "25" {
 		t.Fatalf("env = %v", resp.Envs)
+	}
+}
+
+// MPS replica shares across one GPU must sum to exactly 100: naive
+// 100/Replicas truncation gave 3 replicas 33+33+33 = 99%, stranding
+// SMs. Shares are apportioned per replica index by largest remainder.
+func TestMPSReplicaSharesSumToExactly100(t *testing.T) {
+	for _, replicas := range []int{2, 3, 4, 5, 7} {
+		_, node, _ := newNode(t, 1)
+		p, _ := New(node, Config{Sharing: &SharingConfig{Strategy: SharingMPS, Replicas: replicas}})
+		sum := 0
+		for r := 0; r < replicas; r++ {
+			id := "0::" + strconv.Itoa(r)
+			resp, err := p.Allocate([]string{id})
+			if err != nil {
+				t.Fatalf("replicas=%d: allocate %s: %v", replicas, id, err)
+			}
+			pct, err := strconv.Atoi(resp.Envs[gpuctl.EnvMPSThreadPct])
+			if err != nil {
+				t.Fatalf("replicas=%d: bad pct %q", replicas, resp.Envs[gpuctl.EnvMPSThreadPct])
+			}
+			sum += pct
+		}
+		if sum != 100 {
+			t.Fatalf("replicas=%d: shares sum to %d, want exactly 100", replicas, sum)
+		}
+	}
+}
+
+// One container holding several MPS replicas gets their combined
+// percentage.
+func TestMPSMultiReplicaAllocationCombinesShares(t *testing.T) {
+	_, node, _ := newNode(t, 1)
+	p, _ := New(node, Config{Sharing: &SharingConfig{Strategy: SharingMPS, Replicas: 3}})
+	resp, err := p.Allocate([]string{"0::0", "0::1", "0::2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Envs[gpuctl.EnvMPSThreadPct] != "100" {
+		t.Fatalf("env = %v, want combined pct 100", resp.Envs)
 	}
 }
 

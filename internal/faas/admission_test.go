@@ -1,0 +1,72 @@
+package faas
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/devent"
+	"repro/internal/obs"
+)
+
+// A shed decision fails the task fast with a ShedError carrying the
+// retry-after hint, never dispatches it, and counts it per app.
+func TestAdmissionShedsBeforeDispatch(t *testing.T) {
+	env := devent.NewEnv()
+	d, ex := newTestDFK(t, env, 3)
+	d.Register(App{Name: "work", Executor: "stub", Fn: func(inv *Invocation) (any, error) {
+		return "ok", nil
+	}})
+	shedding := true
+	d.SetAdmission(func(task *Task) (bool, time.Duration) {
+		return shedding, 30 * time.Second
+	})
+	env.Spawn("main", func(p *devent.Proc) {
+		fut := d.Submit("work")
+		_, err := fut.Result(p)
+		if !errors.Is(err, ErrShed) {
+			t.Errorf("err = %v, want ErrShed", err)
+		}
+		var shed *ShedError
+		if !errors.As(err, &shed) || shed.RetryAfter != 30*time.Second || shed.App != "work" {
+			t.Errorf("shed error = %+v", shed)
+		}
+		if fut.Task().Status != TaskShed || !fut.Task().Status.Terminal() || fut.Task().Tries != 0 {
+			t.Errorf("task = %+v; shed tasks must end TaskShed with zero dispatch tries", fut.Task())
+		}
+		// Admission lifts: the same app runs normally.
+		shedding = false
+		if _, err := d.Submit("work").Result(p); err != nil {
+			t.Errorf("post-shed submit: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ex.n != 1 {
+		t.Errorf("executor saw %d submissions, want 1 (shed task must not dispatch)", ex.n)
+	}
+	m := d.Collector().Metrics()
+	if got := m.Counter("faas_tasks_shed_total", obs.L("app", "work")).Value(); got != 1 {
+		t.Errorf("faas_tasks_shed_total = %v", got)
+	}
+}
+
+// Removing the hook restores unconditional admission.
+func TestAdmissionHookRemoval(t *testing.T) {
+	env := devent.NewEnv()
+	d, _ := newTestDFK(t, env, 0)
+	d.Register(App{Name: "work", Executor: "stub", Fn: func(inv *Invocation) (any, error) {
+		return "ok", nil
+	}})
+	d.SetAdmission(func(task *Task) (bool, time.Duration) { return true, 0 })
+	d.SetAdmission(nil)
+	env.Spawn("main", func(p *devent.Proc) {
+		if _, err := d.Submit("work").Result(p); err != nil {
+			t.Errorf("submit after hook removal: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

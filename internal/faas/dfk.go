@@ -30,6 +30,11 @@ type DFK struct {
 	// attempt; a non-nil error fails that attempt (retriable). Fault
 	// injectors use it to model transient submit failures.
 	dispatchFault func(*Task) error
+	// admission, when set, is consulted once per Submit before the
+	// task spawns its launch proc; a shed decision fails the task fast
+	// with a ShedError (terminal, never dispatched). Autoscalers use it
+	// for burn-driven load shedding.
+	admission func(*Task) (shed bool, retryAfter time.Duration)
 }
 
 // NewDFK creates a DataFlowKernel over the given executors. If the
@@ -150,6 +155,15 @@ func (d *DFK) Start() error {
 // as a transient submit failure, exercising the retry/backoff path.
 func (d *DFK) SetDispatchFault(fn func(*Task) error) { d.dispatchFault = fn }
 
+// SetAdmission installs (or, with nil, removes) the admission-control
+// hook consulted once per Submit. Returning shed=true fails the task
+// immediately with a ShedError carrying the retryAfter hint; it is
+// never dispatched and the DFK's retry policy does not apply — load
+// shedding pushes the retry decision back to the client. Shed tasks
+// count in faas_tasks_shed_total (per app) and, like every terminal
+// state, in faas_tasks_completed_total.
+func (d *DFK) SetAdmission(fn func(*Task) (shed bool, retryAfter time.Duration)) { d.admission = fn }
+
 // Drain stops accepting new submissions — subsequent Submits fail fast
 // with ErrShutdown — while work already in flight runs to completion.
 // Executors that support draining are drained too.
@@ -229,6 +243,17 @@ func (d *DFK) Submit(appName string, args ...any) *Future {
 		d.finish(task)
 		done.Fail(task.Err)
 		return fut
+	}
+	if d.admission != nil {
+		if shed, retryAfter := d.admission(task); shed {
+			task.Status = TaskShed
+			task.Err = &ShedError{App: appName, RetryAfter: retryAfter}
+			task.EndTime = d.env.Now()
+			d.obs.Metrics().Counter("faas_tasks_shed_total", obs.L("app", appName)).Inc()
+			d.finish(task)
+			done.Fail(task.Err)
+			return fut
+		}
 	}
 	d.emit(task)
 

@@ -38,6 +38,36 @@ var ErrShutdown = errors.New("faas: executor shut down")
 // so a timed-out task is terminal and never re-dispatched.
 var ErrTaskTimeout = errors.New("faas: task deadline exceeded")
 
+// ErrShed is returned for tasks rejected by admission control at
+// Submit: the platform is over its SLO burn budget and sheds load
+// before it queues, instead of letting every request blow the latency
+// target. Shed tasks fail fast — they are never dispatched and never
+// retried by the DFK; the client owns the retry, guided by the
+// ShedError's RetryAfter hint.
+var ErrShed = errors.New("faas: shed by admission control")
+
+// ShedError is the concrete error a shed task fails with: it wraps
+// ErrShed (errors.Is works) and carries retry-after semantics, the
+// FaaS analogue of HTTP 429 + Retry-After.
+type ShedError struct {
+	// App is the submitted app name.
+	App string
+	// RetryAfter is the controller's hint for when pressure should
+	// have eased (0 = no hint).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("faas: shed by admission control: app %q, retry after %v", e.App, e.RetryAfter)
+	}
+	return fmt.Sprintf("faas: shed by admission control: app %q", e.App)
+}
+
+// Unwrap lets errors.Is(err, ErrShed) identify shed failures.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
 // AppFunc is the body of an app. It runs inside a worker and receives
 // the invocation context.
 type AppFunc func(inv *Invocation) (any, error)
@@ -63,6 +93,12 @@ const (
 	TaskDone
 	TaskFailed
 	TaskTimedOut
+	// TaskShed marks tasks rejected by admission control: terminal,
+	// never dispatched. Distinct from TaskFailed so SLO monitors can
+	// keep shed load out of the latency signal — shedding is how the
+	// platform protects that signal, so counting sheds as latency
+	// violations would lock the shed loop on permanently.
+	TaskShed
 )
 
 // String implements fmt.Stringer.
@@ -80,16 +116,24 @@ func (s TaskStatus) String() string {
 		return "failed"
 	case TaskTimedOut:
 		return "timedout"
+	case TaskShed:
+		return "shed"
 	}
 	return "unknown"
 }
 
 // Terminal reports whether the status is final: a task reaches exactly
-// one of TaskDone, TaskFailed, or TaskTimedOut, exactly once — the
-// invariant the chaos suite asserts under fault injection.
+// one of TaskDone, TaskFailed, TaskTimedOut, or TaskShed, exactly once
+// — the invariant the chaos suite asserts under fault injection.
 func (s TaskStatus) Terminal() bool {
-	return s == TaskDone || s == TaskFailed || s == TaskTimedOut
+	return s == TaskDone || s == TaskFailed || s == TaskTimedOut || s == TaskShed
 }
+
+// TerminalStatuses lists every terminal state, in declaration order.
+// Controllers that derive backlog from the submitted/completed counter
+// families must range over all of them, or tasks ending in an omitted
+// state count as in-flight forever.
+var TerminalStatuses = []TaskStatus{TaskDone, TaskFailed, TaskTimedOut, TaskShed}
 
 // Task is the record of one app invocation.
 type Task struct {

@@ -125,6 +125,16 @@ type submission struct {
 	qspan obs.SpanID
 }
 
+// blockInfo tracks one provisioned block: the node it runs on and its
+// worker pool, so scale-in can retire the block as a unit and return
+// the node to the provider.
+type blockInfo struct {
+	id      int
+	node    *gpuctl.Node
+	workers []*worker
+	procs   []*devent.Proc
+}
+
 // HTEX is the executor. Create with New, register with a DFK, Start
 // to provision workers.
 type HTEX struct {
@@ -145,14 +155,28 @@ type HTEX struct {
 	crashes         map[string]int
 	blacklisted     map[string]bool
 
+	// blocks tracks live provisioned blocks for the scale-out/in path;
+	// nextBlock numbers them (reset on Start so a fresh worker set gets
+	// block0.. again, as before the scaling API existed).
+	blocks    []*blockInfo
+	nextBlock int
+	// scaledToZero marks a deliberate ScaleIn to zero workers: unlike a
+	// crash of the last worker, submissions keep queueing, waiting for
+	// the next ScaleOut — the scale-to-zero economics the autoscaler
+	// depends on.
+	scaledToZero bool
+
 	obs        *obs.Collector
 	gWorkers   *obs.Gauge
+	gBlocks    *obs.Gauge
 	gBlacklist *obs.Gauge
 	cCold      *obs.Counter
 	cKilled    *obs.Counter
 	cRestarts  *obs.Counter
 	cWRestarts *obs.Counter
 	cPicked    *obs.Counter
+	cScaleOut  *obs.Counter
+	cScaleIn   *obs.Counter
 }
 
 // New creates the executor; Validate errors surface here.
@@ -186,12 +210,15 @@ func (h *HTEX) SetCollector(c *obs.Collector) {
 	m := c.Metrics()
 	l := obs.L("executor", h.cfg.Label)
 	h.gWorkers = m.Gauge("htex_workers_live", l)
+	h.gBlocks = m.Gauge("htex_blocks_live", l)
 	h.gBlacklist = m.Gauge("htex_blacklist_size", l)
 	h.cCold = m.Counter("htex_cold_starts_total", l)
 	h.cKilled = m.Counter("htex_workers_killed_total", l)
 	h.cRestarts = m.Counter("htex_restarts_total", l)
 	h.cWRestarts = m.Counter("htex_worker_restarts_total", l)
 	h.cPicked = m.Counter("htex_tasks_picked_total", l)
+	h.cScaleOut = m.Counter("htex_scale_out_total", l)
+	h.cScaleIn = m.Counter("htex_scale_in_total", l)
 }
 
 // Workers implements faas.Executor.
@@ -215,49 +242,155 @@ func (h *HTEX) Start() error {
 	}
 	h.crashes = make(map[string]int)
 	h.blacklisted = make(map[string]bool)
+	h.blocks = nil
+	h.nextBlock = 0
+	h.scaledToZero = false
 	h.env.Spawn("htex-start:"+h.cfg.Label, func(p *devent.Proc) {
 		v, err := p.Wait(h.cfg.Provider.Provision(h.cfg.Blocks))
 		if err != nil {
 			h.env.Fail(fmt.Errorf("htex %q: provision: %w", h.cfg.Label, err))
 			return
 		}
-		if h.gen != gen || !h.started {
-			return // shut down while provisioning
-		}
 		nodes := v.([]*gpuctl.Node)
-		for bi, node := range nodes {
-			bindings := h.cfg.Bindings()
-			n := len(bindings)
-			if n == 0 {
-				n = h.cfg.MaxWorkers
-			}
-			for wi := 0; wi < n; wi++ {
-				w := &worker{
-					name:  fmt.Sprintf("%s/block%d/worker%d", h.cfg.Label, bi, wi),
-					node:  node,
-					obsC:  h.obs,
-					state: make(map[string]any),
-					env:   map[string]string{},
-				}
-				if len(bindings) > 0 {
-					w.binding = bindings[wi]
-					w.env = bindings[wi].Environ()
-				}
-				h.workers = append(h.workers, w)
-				wp := h.env.Spawn(w.name, func(wp *devent.Proc) {
-					h.workerLoop(wp, w)
-				})
-				wp.SetDaemon(true) // idle workers are not deadlocks
-				h.procs = append(h.procs, wp)
-			}
+		if h.gen != gen || !h.started {
+			// Shut down while provisioning: hand the grant straight
+			// back so the pool does not leak.
+			h.cfg.Provider.Release(nodes)
+			return
+		}
+		for _, node := range nodes {
+			h.spawnBlock(node)
 		}
 		h.provisioned = true
 	})
 	return nil
 }
 
+// spawnBlock launches one block's worker pool on a provisioned node:
+// one worker per accelerator binding (or MaxWorkers CPU workers).
+func (h *HTEX) spawnBlock(node *gpuctl.Node) *blockInfo {
+	b := &blockInfo{id: h.nextBlock, node: node}
+	h.nextBlock++
+	bindings := h.cfg.Bindings()
+	n := len(bindings)
+	if n == 0 {
+		n = h.cfg.MaxWorkers
+	}
+	for wi := 0; wi < n; wi++ {
+		w := &worker{
+			name:  fmt.Sprintf("%s/block%d/worker%d", h.cfg.Label, b.id, wi),
+			node:  node,
+			obsC:  h.obs,
+			state: make(map[string]any),
+			env:   map[string]string{},
+		}
+		if len(bindings) > 0 {
+			w.binding = bindings[wi]
+			w.env = bindings[wi].Environ()
+		}
+		// Lifecycle events exist before the loop runs, so KillWorker
+		// and ScaleIn work on workers that have not been scheduled yet.
+		w.kill = h.env.NewNamedEvent("kill:" + w.name)
+		w.retire = h.env.NewNamedEvent("retire:" + w.name)
+		h.workers = append(h.workers, w)
+		b.workers = append(b.workers, w)
+		wp := h.env.Spawn(w.name, func(wp *devent.Proc) {
+			h.workerLoop(wp, w)
+		})
+		wp.SetDaemon(true) // idle workers are not deadlocks
+		h.procs = append(h.procs, wp)
+		b.procs = append(b.procs, wp)
+	}
+	h.blocks = append(h.blocks, b)
+	h.gBlocks.Set(float64(len(h.blocks)))
+	h.scaledToZero = false
+	return b
+}
+
+// Blocks reports how many provisioned blocks are live.
+func (h *HTEX) Blocks() int { return len(h.blocks) }
+
+// ScaleOut provisions n additional blocks from the provider and
+// launches their worker pools. It blocks through the provider's grant
+// delay; a failed grant (pool exhausted) returns the error without
+// touching the running pool.
+func (h *HTEX) ScaleOut(p *devent.Proc, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("htex %q: scale-out of %d blocks", h.cfg.Label, n)
+	}
+	if !h.started {
+		return fmt.Errorf("htex %q: scale-out before Start: %w", h.cfg.Label, faas.ErrShutdown)
+	}
+	gen := h.gen
+	v, err := p.Wait(h.cfg.Provider.Provision(n))
+	if err != nil {
+		return fmt.Errorf("htex %q: scale-out: %w", h.cfg.Label, err)
+	}
+	nodes := v.([]*gpuctl.Node)
+	if h.gen != gen || !h.started {
+		h.cfg.Provider.Release(nodes)
+		return fmt.Errorf("htex %q: restarted during scale-out: %w", h.cfg.Label, faas.ErrShutdown)
+	}
+	for _, node := range nodes {
+		h.spawnBlock(node)
+	}
+	h.cScaleOut.Add(float64(n))
+	return nil
+}
+
+// ScaleIn gracefully retires the n most recently added blocks (LIFO):
+// each block's workers finish their in-flight task, exit cleanly —
+// no crash accounting, no restart timers — and the block's node goes
+// back to the provider, immediately grantable by the next ScaleOut.
+// Retiring every block is allowed (scale-to-zero): submissions keep
+// queueing until a later ScaleOut, they are not failed. Returns how
+// many blocks were actually retired (capped at the live count).
+func (h *HTEX) ScaleIn(p *devent.Proc, n int) (int, error) {
+	if !h.started {
+		return 0, fmt.Errorf("htex %q: scale-in before Start: %w", h.cfg.Label, faas.ErrShutdown)
+	}
+	if n > len(h.blocks) {
+		n = len(h.blocks)
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	gen := h.gen
+	retire := h.blocks[len(h.blocks)-n:]
+	h.blocks = h.blocks[:len(h.blocks)-n]
+	if len(h.blocks) == 0 {
+		h.scaledToZero = true
+	}
+	h.gBlocks.Set(float64(len(h.blocks)))
+	for _, b := range retire {
+		for _, w := range b.workers {
+			if w.retire != nil && !w.retire.Fired() {
+				w.retire.Fire(nil)
+			}
+		}
+	}
+	// Wait for every retired worker to drain its in-flight task and
+	// exit (destroying its GPU context) before returning the nodes.
+	for _, b := range retire {
+		for _, wp := range b.procs {
+			p.Wait(wp.Done())
+		}
+	}
+	if h.gen != gen || !h.started {
+		return 0, fmt.Errorf("htex %q: restarted during scale-in: %w", h.cfg.Label, faas.ErrShutdown)
+	}
+	nodes := make([]*gpuctl.Node, 0, n)
+	for _, b := range retire {
+		nodes = append(nodes, b.node)
+	}
+	if err := h.cfg.Provider.Release(nodes); err != nil {
+		return n, fmt.Errorf("htex %q: scale-in release: %w", h.cfg.Label, err)
+	}
+	h.cScaleIn.Add(float64(n))
+	return n, nil
+}
+
 func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
-	w.kill = h.env.NewNamedEvent("kill:" + w.name)
 	cleanup := func() {
 		if w.gpu != nil && !w.gpu.Destroyed() {
 			w.gpu.Destroy()
@@ -288,10 +421,19 @@ func (h *HTEX) workerLoop(p *devent.Proc, w *worker) {
 	}
 	w.ready = true
 	for {
-		sub, ok, cancelled := h.queue.RecvOr(p, devent.AnyOf(h.env, h.shutdown, w.kill))
+		// Retirement is checked before the queue: RecvOr drains buffered
+		// work first, so a retired worker would otherwise keep picking
+		// tasks as long as a backlog exists.
+		if w.retire.Fired() {
+			h.workerRetired(w)
+			return
+		}
+		sub, ok, cancelled := h.queue.RecvOr(p, devent.AnyOf(h.env, h.shutdown, w.kill, w.retire))
 		if cancelled || !ok {
 			if w.kill.Fired() {
 				h.workerCrashed(w)
+			} else if w.retire.Fired() {
+				h.workerRetired(w)
 			}
 			return
 		}
@@ -384,6 +526,12 @@ func (h *HTEX) removeWorker(w *worker) {
 	}
 }
 
+// workerRetired is the clean exit path for scale-in: the worker
+// leaves the pool with no crash accounting and no restart timer.
+func (h *HTEX) workerRetired(w *worker) {
+	h.removeWorker(w)
+}
+
 // workerCrashed is the single exit path for killed workers (idle or
 // mid-task): it counts the crash against the worker's slot, blacklists
 // the slot after BlacklistAfter crashes, schedules an exponential-
@@ -434,6 +582,23 @@ func (h *HTEX) workerCrashed(w *worker) {
 // re-pays every cold-start component, exactly as a real pilot-job
 // restart would.
 func (h *HTEX) respawn(old *worker) {
+	// The slot's block must still be live: when ScaleIn retired it
+	// while the restart timer ran, the node is back with the provider
+	// and the slot must stay dead.
+	var blk *blockInfo
+	slot := -1
+	for _, b := range h.blocks {
+		for i, x := range b.workers {
+			if x == old {
+				blk, slot = b, i
+				break
+			}
+		}
+	}
+	if blk == nil {
+		h.failIfStranded()
+		return
+	}
 	w := &worker{
 		name:    old.name,
 		node:    old.node,
@@ -441,13 +606,17 @@ func (h *HTEX) respawn(old *worker) {
 		env:     old.env,
 		state:   make(map[string]any),
 	}
+	w.kill = h.env.NewNamedEvent("kill:" + w.name)
+	w.retire = h.env.NewNamedEvent("retire:" + w.name)
 	h.workers = append(h.workers, w)
+	blk.workers[slot] = w
 	h.cWRestarts.Inc()
 	wp := h.env.Spawn(w.name, func(p *devent.Proc) {
 		h.workerLoop(p, w)
 	})
 	wp.SetDaemon(true)
 	h.procs = append(h.procs, wp)
+	blk.procs = append(blk.procs, wp)
 }
 
 // failIfStranded drains the queue with ErrNoWorkers when no worker is
@@ -455,6 +624,11 @@ func (h *HTEX) respawn(old *worker) {
 // never complete, violating the exactly-one-terminal-state invariant.
 func (h *HTEX) failIfStranded() {
 	if !h.started || !h.provisioned || len(h.workers) > 0 || h.pendingRestarts > 0 {
+		return
+	}
+	// Scale-to-zero is not stranding: the queue waits for the next
+	// ScaleOut.
+	if h.scaledToZero {
 		return
 	}
 	for {
@@ -479,7 +653,7 @@ func (h *HTEX) Submit(task *faas.Task, app faas.App, args []any) *devent.Event {
 		done.Fail(fmt.Errorf("%w: executor %q draining", faas.ErrShutdown, h.cfg.Label))
 		return done
 	}
-	if h.provisioned && len(h.workers) == 0 && h.pendingRestarts == 0 {
+	if h.provisioned && len(h.workers) == 0 && h.pendingRestarts == 0 && !h.scaledToZero {
 		done.Fail(fmt.Errorf("%w: executor %q", ErrNoWorkers, h.cfg.Label))
 		return done
 	}
@@ -520,6 +694,18 @@ func (h *HTEX) Shutdown() {
 		sub.done.Fail(faas.ErrShutdown)
 	}
 	h.workers = nil
+	// Hand every live block's node back so restart/scale cycles cannot
+	// exhaust a finite provider pool (best-effort: the pilot job is
+	// going away regardless).
+	if len(h.blocks) > 0 {
+		nodes := make([]*gpuctl.Node, 0, len(h.blocks))
+		for _, b := range h.blocks {
+			nodes = append(nodes, b.node)
+		}
+		h.cfg.Provider.Release(nodes)
+		h.blocks = nil
+		h.gBlocks.Set(0)
+	}
 }
 
 // ShutdownAndWait shuts down and blocks until every worker proc has
@@ -570,6 +756,7 @@ type worker struct {
 	gpu     *simgpu.Context
 	state   map[string]any
 	kill    *devent.Event
+	retire  *devent.Event
 	ready   bool
 	runSpan obs.SpanID
 	obsC    *obs.Collector

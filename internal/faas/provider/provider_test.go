@@ -59,6 +59,93 @@ func TestSlurmProviderDelayAndExhaustion(t *testing.T) {
 	}
 }
 
+// Scale-down must return nodes to the pool: provision→release→
+// provision succeeds, and over-subscription still fails
+// deterministically once the pool is genuinely empty. The monotone
+// cursor this replaces exhausted the pool permanently after one
+// scale-down→scale-up cycle.
+func TestSlurmProvisionReleaseProvision(t *testing.T) {
+	env := devent.NewEnv()
+	n1, n2 := gpuctl.NewNode(env), gpuctl.NewNode(env)
+	s := NewSlurm(env, 0, n1, n2)
+	env.Spawn("main", func(p *devent.Proc) {
+		v, err := p.Wait(s.Provision(2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		first := v.([]*gpuctl.Node)
+		if s.Granted() != 2 {
+			t.Errorf("granted = %d after provision", s.Granted())
+		}
+		if err := s.Release(first); err != nil {
+			t.Error(err)
+			return
+		}
+		if s.Granted() != 0 {
+			t.Errorf("granted = %d after release", s.Granted())
+		}
+		v, err = p.Wait(s.Provision(2))
+		if err != nil {
+			t.Errorf("re-provision after release failed: %v", err)
+			return
+		}
+		second := v.([]*gpuctl.Node)
+		if len(second) != 2 || second[0] == second[1] {
+			t.Errorf("re-provision nodes = %v", second)
+		}
+		// The pool is fully granted again: one more must fail.
+		if _, err := p.Wait(s.Provision(1)); err == nil {
+			t.Error("over-subscription succeeded after release cycle")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlurmReleaseValidation(t *testing.T) {
+	env := devent.NewEnv()
+	n1, n2 := gpuctl.NewNode(env), gpuctl.NewNode(env)
+	s := NewSlurm(env, 0, n1, n2)
+	env.Spawn("main", func(p *devent.Proc) {
+		// Releasing a node that was never granted fails.
+		if err := s.Release([]*gpuctl.Node{n1}); err == nil {
+			t.Error("release of ungranted node accepted")
+		}
+		v, err := p.Wait(s.Provision(1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := v.([]*gpuctl.Node)
+		if err := s.Release(got); err != nil {
+			t.Error(err)
+		}
+		// Double release fails.
+		if err := s.Release(got); err == nil {
+			t.Error("double release accepted")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalProviderRelease(t *testing.T) {
+	env := devent.NewEnv()
+	node := gpuctl.NewNode(env)
+	other := gpuctl.NewNode(env)
+	p := NewLocal(env, node)
+	nodes := p.Provision(2).Value().([]*gpuctl.Node)
+	if err := p.Release(nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release([]*gpuctl.Node{other}); err == nil {
+		t.Fatal("release of foreign node accepted")
+	}
+}
+
 func TestSlurmDistinctNodes(t *testing.T) {
 	env := devent.NewEnv()
 	n1, n2 := gpuctl.NewNode(env), gpuctl.NewNode(env)

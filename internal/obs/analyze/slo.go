@@ -218,6 +218,13 @@ func (m *Monitor) onSpan(s obs.Span) {
 	if !ok {
 		return
 	}
+	// Shed tasks are admission-control availability loss, counted in
+	// faas_tasks_shed_total; they are not latency-SLO events. Folding
+	// them into the burn signal would make shedding self-sustaining:
+	// sheds raise burn, burn sustains shedding.
+	if s.Attr("status") == "shed" {
+		return
+	}
 	good := s.Attr("status") == "done" && s.Duration() <= st.rule.Latency
 	verdict := "good"
 	if !good {

@@ -248,7 +248,7 @@ func (c *Controller) observe() []window {
 		app := obs.L("app", ts.t.App)
 		submitted := m.Counter("faas_tasks_submitted_total", app).Value()
 		var done float64
-		for _, st := range []faas.TaskStatus{faas.TaskDone, faas.TaskFailed, faas.TaskTimedOut} {
+		for _, st := range faas.TerminalStatuses {
 			done += m.Counter("faas_tasks_completed_total", app, obs.L("status", st.String())).Value()
 		}
 		h := m.Histogram("faas_task_run_seconds", nil, app)

@@ -102,6 +102,41 @@ func PackMPS(spec simgpu.DeviceSpec, demands []TenantDemand) (*MPSPlan, error) {
 	return plan, nil
 }
 
+// EqualShares splits a device into n equal MPS percentage shares via
+// PackMPS's largest-remainder apportionment, so the shares sum to
+// exactly 100 for any share count small enough that a percent still
+// grants at least one SM. Naive truncation (100/n) strands up to n-1 percent —
+// three processes would get 33+33+33 = 99%, leaving SMs idle. Here the
+// device's SMs are apportioned first (base SMs/n each, the first
+// SMs mod n tenants get one more), so for a 108-SM A100 three
+// processes get 34/33/33 and five get 20×5.
+func EqualShares(spec simgpu.DeviceSpec, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d shares requested", ErrUnpackable, n)
+	}
+	if n > spec.SMs {
+		return nil, fmt.Errorf("%w: %d shares exceed %d SMs", ErrUnpackable, n, spec.SMs)
+	}
+	demands := make([]TenantDemand, n)
+	base, extra := spec.SMs/n, spec.SMs%n
+	for i := range demands {
+		sms := base
+		if i < extra {
+			sms++
+		}
+		demands[i] = TenantDemand{Name: fmt.Sprintf("share%d", i), SMs: sms}
+	}
+	plan, err := PackMPS(spec, demands)
+	if err != nil {
+		return nil, err
+	}
+	pcts := make([]int, n)
+	for i, a := range plan.Assignments {
+		pcts[i] = a.Percent
+	}
+	return pcts, nil
+}
+
 // MinGrantingPercent is the smallest percentage whose SM grant
 // (ceil(pct·deviceSMs/100)) covers sms. Exported for the fleet packer,
 // which computes incremental per-tenant grants with the same rounding

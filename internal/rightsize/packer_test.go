@@ -51,6 +51,64 @@ func TestPackMPSNoFalseOversubscription(t *testing.T) {
 	}
 }
 
+// The truncation regression the equal-shares helper locks in: naive
+// 100/n gave 3 processes 33+33+33 = 99%, stranding SMs. EqualShares
+// must sum to exactly 100 for every realistic share count, with shares
+// differing by at most one point.
+func TestEqualSharesSumToExactly100(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	for n := 1; n <= 16; n++ {
+		pcts, err := EqualShares(spec, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(pcts) != n {
+			t.Fatalf("n=%d: got %d shares", n, len(pcts))
+		}
+		sum, min, max := 0, pcts[0], pcts[0]
+		for _, p := range pcts {
+			sum += p
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		if sum != 100 {
+			t.Fatalf("n=%d: shares %v sum to %d, want exactly 100", n, pcts, sum)
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: shares %v differ by more than one point", n, pcts)
+		}
+	}
+}
+
+func TestEqualSharesThreeWaySplit(t *testing.T) {
+	pcts, err := EqualShares(simgpu.A100SXM480GB(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 108 SMs split 36/36/36; the remainder point goes to the first
+	// share: 34+33+33, not the truncated 33+33+33.
+	if len(pcts) != 3 || pcts[0] != 34 || pcts[1] != 33 || pcts[2] != 33 {
+		t.Fatalf("pcts = %v, want [34 33 33]", pcts)
+	}
+}
+
+func TestEqualSharesInvalidCounts(t *testing.T) {
+	spec := simgpu.A100SXM480GB()
+	if _, err := EqualShares(spec, 0); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("n=0: err = %v", err)
+	}
+	if _, err := EqualShares(spec, -1); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("n=-1: err = %v", err)
+	}
+	if _, err := EqualShares(spec, spec.SMs+1); !errors.Is(err, ErrUnpackable) {
+		t.Fatalf("n>SMs: err = %v", err)
+	}
+}
+
 func TestPackMPSDuplicateTenant(t *testing.T) {
 	spec := simgpu.A100SXM480GB()
 	_, err := PackMPS(spec, []TenantDemand{
