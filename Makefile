@@ -138,28 +138,46 @@ autoscale:
 	grep -q 'virtual: verdict cold-starts' /tmp/autoscale.a.txt; \
 	echo "autoscale: ok (byte-identical across -parallel and -stream)"
 
-# End-to-end smoke of the live observability plane: run a small scale
-# scenario with -serve, poll /healthz until the run reports done, then
-# curl /metrics (must be non-empty Prometheus text) and /progress.
-# The server lingers after the run by design; the trap kills it.
+# End-to-end smoke of the live observability plane: boot small scale,
+# fleet, and autoscale runs each with -serve, poll /healthz until every
+# run reports done, then curl the endpoints — /metrics (the merged
+# multi-scope exposition must pass promlint), /api/scopes, /api/alerts,
+# /dashboard, /progress, and /spans. The servers linger after their
+# runs by design; the trap kills them.
 serve-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/paperbench-smoke ./cmd/paperbench; \
+	$(GO) build -o /tmp/promlint-smoke ./cmd/promlint; \
 	/tmp/paperbench-smoke scale -tasks 20000 -shards 2 -stream -serve 127.0.0.1:9190 >/dev/null 2>&1 & \
-	pid=$$!; \
-	trap "kill $$pid 2>/dev/null || true" EXIT; \
-	ok=0; \
-	for i in $$(seq 1 60); do \
-		if curl -fsS http://127.0.0.1:9190/healthz 2>/dev/null | grep -q '"phase":"done"'; then ok=1; break; fi; \
-		sleep 1; \
+	scale_pid=$$!; \
+	/tmp/paperbench-smoke fleet -gpus80 8 -gpus40 8 -apps 16 -horizon 2m -serve 127.0.0.1:9191 >/dev/null 2>&1 & \
+	fleet_pid=$$!; \
+	/tmp/paperbench-smoke autoscale -gpus 4 -horizon 30m -serve 127.0.0.1:9192 >/dev/null 2>&1 & \
+	auto_pid=$$!; \
+	trap "kill $$scale_pid $$fleet_pid $$auto_pid 2>/dev/null || true" EXIT; \
+	for port in 9190 9191 9192; do \
+		ok=0; \
+		for i in $$(seq 1 90); do \
+			if curl -fsS http://127.0.0.1:$$port/healthz 2>/dev/null | grep -q '"phase":"done"'; then ok=1; break; fi; \
+			sleep 1; \
+		done; \
+		test $$ok = 1 || { echo "serve-smoke: :$$port /healthz never reported done"; exit 1; }; \
 	done; \
-	test $$ok = 1 || { echo "serve-smoke: /healthz never reported done"; exit 1; }; \
 	curl -fsS http://127.0.0.1:9190/progress; echo; \
 	curl -fsS http://127.0.0.1:9190/metrics > /tmp/serve-smoke.metrics; \
 	grep -q '^# TYPE faas_tasks_completed_total counter' /tmp/serve-smoke.metrics; \
 	curl -fsS 'http://127.0.0.1:9190/spans?scope=scale/shard0' > /tmp/serve-smoke.spans; \
 	test -s /tmp/serve-smoke.spans; \
-	echo "serve-smoke: ok (metrics $$(wc -l < /tmp/serve-smoke.metrics) lines, spans $$(wc -l < /tmp/serve-smoke.spans) events)"
+	for port in 9190 9191 9192; do \
+		curl -fsS http://127.0.0.1:$$port/metrics | /tmp/promlint-smoke || { echo "serve-smoke: :$$port /metrics failed promlint"; exit 1; }; \
+		curl -fsS http://127.0.0.1:$$port/dashboard | grep -q '/api/alerts' || { echo "serve-smoke: :$$port /dashboard missing"; exit 1; }; \
+	done; \
+	curl -fsS http://127.0.0.1:9191/api/scopes | grep -q '"scope":"fleet/load1.5x"'; \
+	curl -fsS http://127.0.0.1:9191/api/alerts | grep -q '"name":"frag-ceiling"'; \
+	curl -fsS http://127.0.0.1:9192/api/scopes | grep -q '"scope":"autoscale/static-1"'; \
+	curl -fsS http://127.0.0.1:9192/api/alerts | grep -q '"name":"slo-burn-page"'; \
+	curl -fsS 'http://127.0.0.1:9192/api/series?name=autoscale_blocks&fn=latest&scope=*' | grep -q '"results"'; \
+	echo "serve-smoke: ok (metrics $$(wc -l < /tmp/serve-smoke.metrics) lines, spans $$(wc -l < /tmp/serve-smoke.spans) events; fleet+autoscale scopes, alerts, dashboard, promlint ok)"
 
 # End-to-end smoke test of the attribution pipeline: run the Table 1
 # bursts instrumented, render the folded-stack artifact, and print the

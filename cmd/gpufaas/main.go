@@ -594,6 +594,7 @@ func runFleet(args []string) error {
 	rate := fs.Float64("rate", 0, "scenario: tenant arrivals per second (default 2.0)")
 	seed := fs.Int64("seed", 0, "scenario: churn RNG seed (default 1)")
 	serveAddr := fs.String("serve", "", "scenario: serve live observability over HTTP on this address")
+	alertsOut := fs.String("alerts", "", "scenario: write the alert-rule history (fleet pack) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -613,9 +614,21 @@ func runFleet(args []string) error {
 		cfg.OnDB = func(db *tsdb.DB) { srv.AttachDB("fleet", db) }
 		cfg.OnCollector = func(c *obs.Collector) { c.SetSink(srv.Tail("fleet", 0)) }
 	}
+	if *alertsOut != "" && cfg.TSDB == nil {
+		// The alert engine lives on the series store; -alerts forces one
+		// on even without -serve.
+		cfg.TSDB = &tsdb.Config{}
+	}
 	r, err := core.RunFleet(cfg)
 	if err != nil {
 		return err
+	}
+	if *alertsOut != "" {
+		if err := writeArtifact(*alertsOut, func(w *os.File) error {
+			return tsdb.WriteAlertHistory(w, "", r.TSDB)
+		}); err != nil {
+			return err
+		}
 	}
 	if srv != nil {
 		r.Obs.Close() // flush parked daemon spans into the live tail
@@ -666,6 +679,7 @@ func runAutoscaleCell(args []string) error {
 	hold := fs.Duration("hold", 0, "keep the cell open this long after drain (observes scale-to-zero)")
 	seed := fs.Int64("seed", 0, "traffic and shed RNG seed (default 1)")
 	serveAddr := fs.String("serve", "", "serve live observability over HTTP on this address")
+	alertsOut := fs.String("alerts", "", "write the alert-rule history (autoscale pack + SLO burn) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -687,6 +701,15 @@ func runAutoscaleCell(args []string) error {
 	r, err := core.RunAutoscale(cfg)
 	if err != nil {
 		return err
+	}
+	if *alertsOut != "" {
+		// The autoscale cell always carries a series store, so the alert
+		// history is available with or without -serve.
+		if err := writeArtifact(*alertsOut, func(w *os.File) error {
+			return tsdb.WriteAlertHistory(w, "", r.TSDB)
+		}); err != nil {
+			return err
+		}
 	}
 	if srv != nil {
 		r.Obs.Close() // flush parked daemon spans into the live tail

@@ -101,7 +101,12 @@ flags:
   -slo SPEC        attach the SLO burn-rate monitor to instrumented
                    reruns: comma-separated app:latency:target[:window]
                    rules, e.g. -slo llama-complete:12s:0.9
-  -alerts FILE     write the SLO alert stream (requires -slo)
+  -alerts FILE     write the SLO alert stream (requires -slo). For the
+                   scale, fleet, and autoscale artifacts it stands
+                   alone: each cell's alert-rule history (resolved
+                   incidents + still-active rules from the scenario's
+                   default rule pack) renders to FILE, byte-identical
+                   at any -parallel level and under -stream
   -stream          export -trace/-metrics/-attrib/-flame/-alerts (and
                    the scale run) in streaming mode: spans flush to
                    exporters as they end instead of being retained;
@@ -182,7 +187,11 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	if *alertsOut != "" && *sloSpec == "" {
+	// scale/fleet/autoscale carry their own alert-rule packs, so -alerts
+	// stands alone there; everywhere else it renders the SLO monitor's
+	// stream and needs -slo rules to monitor.
+	scenarioArtifact := artifact == "scale" || artifact == "fleet" || artifact == "autoscale"
+	if *alertsOut != "" && *sloSpec == "" && !scenarioArtifact {
 		fmt.Fprintln(os.Stderr, "paperbench: -alerts requires -slo")
 		os.Exit(2)
 	}
@@ -227,6 +236,16 @@ func main() {
 	}
 	w := os.Stdout
 	var err error
+	var scenarioAlerts io.Writer
+	if *alertsOut != "" && scenarioArtifact {
+		f, ferr := os.Create(*alertsOut)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: -alerts:", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		scenarioAlerts = f
+	}
 	switch artifact {
 	case "fig1":
 		err = report.Fig1(w, []int{1, 8, 32})
@@ -259,6 +278,7 @@ func main() {
 			Tasks: *tasks, Shards: *shards, Workers: *workers, Window: *window,
 			ArrivalRate: *arrival, Seed: *seed, SampleMod: *sample,
 			Stream: *stream, Compare: *compare, TracePath: *traceOut,
+			Alerts: scenarioAlerts,
 		}
 		if srv != nil {
 			// Per-shard series stores, batched progress, and (with
@@ -280,7 +300,7 @@ func main() {
 		opts := report.FleetOptions{
 			GPUs80: *gpus80, GPUs40: *gpus40, Apps: *apps,
 			Duration: *horizon, ArrivalRate: *arrival, Seed: *seed,
-			Stream: *stream,
+			Stream: *stream, Alerts: scenarioAlerts,
 		}
 		if srv != nil {
 			// One series store per load cell; with -stream a live span
@@ -301,7 +321,7 @@ func main() {
 	case "autoscale":
 		opts := report.AutoscaleOptions{
 			GPUs: *gpus, Horizon: *horizon, Seed: *seed,
-			Stream: *stream,
+			Stream: *stream, Alerts: scenarioAlerts,
 		}
 		if srv != nil {
 			// One series store per cell (autoscaled and the static

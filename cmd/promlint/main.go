@@ -1,0 +1,41 @@
+// Command promlint validates Prometheus text exposition: well-formed
+// HELP/TYPE headers, sorted labels, monotone cumulative histogram
+// buckets with a +Inf terminator, and consistent sample counts. It
+// reads stdin (or each file argument) and exits non-zero on the first
+// violation — CI pipes the live server's /metrics merge through it.
+//
+// Usage:
+//
+//	curl -s localhost:9190/metrics | promlint
+//	promlint metrics.prom other.prom
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := obs.LintPrometheus(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "promlint: stdin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		lintErr := obs.LintPrometheus(f)
+		f.Close()
+		if lintErr != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, lintErr)
+			os.Exit(1)
+		}
+	}
+}

@@ -221,6 +221,7 @@ func RunAutoscale(cfg AutoscaleConfig) (*AutoscaleResult, error) {
 	analyze.NewMonitorTSDB(col, env, []analyze.Rule{
 		{App: "infer", Latency: cfg.SLOLatency, Target: cfg.SLOTarget, Window: cfg.SLOWindow},
 	}, db)
+	attachAlerts(db, AutoscaleAlertRules(cfg))
 
 	var ctl *autoscale.Controller
 	if cfg.StaticBlocks <= 0 {

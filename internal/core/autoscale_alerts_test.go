@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// The alerting-plane acceptance criterion: the multi-window burn-rate
+// page fires while a traffic burst is overwhelming the provisioned
+// blocks and resolves after the autoscaler's scale-out absorbs it.
+//
+// The scenario is built so the burst is the only overload: flat
+// baseline traffic the steady-state block count handles comfortably,
+// admission control pushed out of the way (shedding would mask the
+// latency breach — shed tasks are excluded from the SLO signal), and
+// an 8× one-minute burst that outruns the installed capacity until
+// scale-out lands.
+func TestAutoscaleBurnAlertFiresDuringBurstAndResolves(t *testing.T) {
+	burstAt, burstDur := 4*time.Minute, time.Minute
+	// Provisioning is quick (3s to a live worker) so the cell's boot
+	// does not itself breach the 10s objective; the burst still
+	// overloads for minutes because the control loop reacts on its 15s
+	// interval and the burn windows must fill before and drain after.
+	cfg := AutoscaleConfig{
+		GPUs:        4,
+		GrantDelay:  2 * time.Second,
+		WorkerInit:  time.Second,
+		ServiceTime: 500 * time.Millisecond,
+		Traffic: TrafficConfig{
+			Users:       1000,
+			PerUserRate: 1e-3, // flat 1 req/s baseline
+			Period:      10 * time.Minute,
+			TroughFrac:  1, // no diurnal swing: the burst is the event
+			Horizon:     12 * time.Minute,
+			Bursts:      []Burst{{At: burstAt, Duration: burstDur, Multiplier: 8}},
+		},
+		SLOLatency: 10 * time.Second,
+		SLOTarget:  0.9,
+		SLOWindow:  2 * time.Minute,
+	}
+	cfg.Policy.Interval = 15 * time.Second
+	cfg.Policy.ShedStart = 1000 // never shed: the burst must show as latency
+	cfg.Policy.ShedFull = 2000
+	res, err := RunAutoscale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleOuts == 0 {
+		t.Fatal("scenario did not scale out; nothing absorbs the burst")
+	}
+
+	var page *tsdb.AlertStatus
+	for _, st := range res.TSDB.AlertStatuses() {
+		if st.Name == "slo-burn-page" {
+			st := st
+			page = &st
+		}
+	}
+	if page == nil {
+		t.Fatal("slo-burn-page rule not registered on the cell's DB")
+	}
+	if page.State != "inactive" {
+		t.Fatalf("page state at run end = %s, want inactive (resolved)", page.State)
+	}
+
+	// Exactly the burst incident: fired inside [burst start, burst end
+	// + one SLO window] — the long window needs breaching samples to
+	// accumulate, so firing lags the burst onset but never precedes it.
+	burstEnd := burstAt + burstDur
+	var inc *tsdb.AlertIncident
+	for i := range page.Incidents {
+		if page.Incidents[i].FiredAt >= burstAt && page.Incidents[i].FiredAt <= burstEnd+cfg.SLOWindow {
+			inc = &page.Incidents[i]
+			break
+		}
+	}
+	if inc == nil {
+		t.Fatalf("no page incident overlaps the burst; incidents = %+v", page.Incidents)
+	}
+	for i := range page.Incidents {
+		if page.Incidents[i].FiredAt < burstAt {
+			t.Fatalf("spurious pre-burst page incident %+v (baseline traffic should be healthy)", page.Incidents[i])
+		}
+	}
+	if inc.Peak < 1 {
+		t.Fatalf("incident peak burn = %v, want >= 1", inc.Peak)
+	}
+
+	// Resolution came after a scale-out landed inside the incident:
+	// the autoscale_scale_out_total counter moved between fire and
+	// resolve, and the alert cleared within a few SLO windows of the
+	// burst rather than staying latched to the horizon.
+	if inc.End <= inc.FiredAt {
+		t.Fatalf("incident did not resolve: fired=%v end=%v", inc.FiredAt, inc.End)
+	}
+	if inc.End > burstEnd+3*cfg.SLOWindow {
+		t.Fatalf("page resolved at %v, too long after the burst for scale-out credit", inc.End)
+	}
+	outs := res.TSDB.Samples("autoscale_scale_out_total", 0, 0)
+	outAt := func(t time.Duration) float64 {
+		v := 0.0
+		for _, s := range outs {
+			if s.T > t {
+				break
+			}
+			v = s.V
+		}
+		return v
+	}
+	if outAt(inc.End) <= outAt(inc.FiredAt-cfg.Policy.Interval) {
+		t.Fatalf("no scale-out between page fire (%v) and resolve (%v)", inc.FiredAt, inc.End)
+	}
+
+	// The engine's counters and state series recorded the cycle.
+	if v, ok := res.TSDB.Latest("alert_firing_total", obs.L("alert", "slo-burn-page"), obs.L("app", "infer")); !ok || v.V < 1 {
+		t.Fatalf("alert_firing_total = %+v ok=%v, want >= 1", v, ok)
+	}
+	states := res.TSDB.Samples("alert:state", 0, 0, obs.L("alert", "slo-burn-page"), obs.L("app", "infer"))
+	if len(states) < 2 {
+		t.Fatalf("alert:state transitions = %v, want fire + resolve", states)
+	}
+
+	// The whole pack is registered and queryable.
+	names := map[string]bool{}
+	for _, st := range res.TSDB.AlertStatuses() {
+		names[st.Name] = true
+	}
+	for _, want := range []string{"slo-burn-page", "shed-rate", "scale-flap", "slo-burn"} {
+		if !names[want] {
+			t.Fatalf("rule %q missing from AlertStatuses (have %v)", want, names)
+		}
+	}
+}

@@ -199,6 +199,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	var db *tsdb.DB
 	if cfg.TSDB != nil {
 		db = tsdb.New(col.Metrics(), env, *cfg.TSDB)
+		attachAlerts(db, FleetAlertRules())
 		if cfg.OnDB != nil {
 			cfg.OnDB(db)
 		}

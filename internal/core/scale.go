@@ -215,6 +215,7 @@ func runScaleShard(cfg ScaleConfig, shard, tasks int, sink obs.SpanSink) (shardS
 	if err != nil {
 		return sr, err
 	}
+	attachAlerts(pl.TSDB, ScaleAlertRules())
 	if tel.OnShardDB != nil && pl.TSDB != nil {
 		tel.OnShardDB(shard, pl.TSDB)
 	}

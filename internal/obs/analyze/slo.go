@@ -91,7 +91,10 @@ type appState struct {
 
 	evSeries   *tsdb.Series // per-task outcomes (0 good / 1 bad)
 	burnSeries *tsdb.Series // burn rate after each event
+	alert      *tsdb.Alert  // db mode: the engine-backed "slo-burn" rule
 
+	// Classic (list-backed) mode keeps the inline state machine; db
+	// mode delegates it to the tsdb alert engine.
 	alertActive bool
 	alertStart  time.Duration
 	alertEvents int
@@ -143,9 +146,35 @@ func NewMonitorTSDB(c *obs.Collector, clk obs.Clock, rules []Rule, db *tsdb.DB) 
 		return m
 	}
 	for _, app := range m.order {
+		app := app
 		st := m.apps[app]
 		st.evSeries = db.EventSeries("slo:events", sloSeriesCap, obs.L("app", app))
 		st.burnSeries = db.EventSeries("slo:burn", sloSeriesCap, obs.L("app", app))
+		// The alert state machine is the engine's: an event-driven rule
+		// (no Series, no For — fire on the first burn >= 1, resolve on
+		// the first burn < 1) fed each per-task burn value at its event
+		// time. The OnEvent hook reproduces the classic monitor's side
+		// effects — slo_alerts_total on firing, the retroactive slo/burn
+		// span on resolution — so the alert stream stays byte-equal
+		// while the pending/firing state, alert:state series, and
+		// incident history become queryable live.
+		st.alert = db.AddAlert(tsdb.AlertRule{
+			Name:      "slo-burn",
+			Labels:    []obs.Label{obs.L("app", app)},
+			Threshold: 1,
+			OnEvent: func(ev tsdb.AlertEvent) {
+				switch {
+				case ev.State == tsdb.AlertFiring:
+					m.c.Metrics().Counter("slo_alerts_total", obs.L("app", app)).Inc()
+				case ev.Incident != nil:
+					m.c.AddSpan("slo", "burn", "slo:"+app, 0, ev.Incident.Start, ev.Incident.End,
+						obs.String("app", app),
+						obs.Float("peak_burn", ev.Incident.Peak),
+						obs.Int("events", ev.Incident.Evals),
+					)
+				}
+			},
+		})
 	}
 	return m
 }
@@ -236,6 +265,10 @@ func (m *Monitor) onSpan(s obs.Span) {
 	}
 	burn := st.burnAt(s.End)
 	st.burnSeries.Append(s.End, burn)
+	if st.alert != nil {
+		st.alert.Observe(s.End, burn)
+		return
+	}
 	switch {
 	case burn >= 1 && !st.alertActive:
 		st.alertActive = true
@@ -273,7 +306,12 @@ func (m *Monitor) Close() {
 	}
 	now := m.clk.Now()
 	for _, app := range m.order {
-		if st := m.apps[app]; st.alertActive {
+		st := m.apps[app]
+		if st.alert != nil {
+			st.alert.Resolve(now)
+			continue
+		}
+		if st.alertActive {
 			m.emitAlert(st, now)
 		}
 	}

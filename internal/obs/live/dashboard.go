@@ -1,0 +1,138 @@
+package live
+
+import "net/http"
+
+// handleDashboard serves the embedded single-page view over the JSON
+// API: per-scope sparkline cards drawn from /api/series?fn=raw and a
+// live alerts table from /api/alerts. Zero dependencies — one static
+// HTML string, inline CSS/JS, SVG sparklines — so the page works from
+// the binary with no assets, no build step, and no network beyond the
+// server itself.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML)) //nolint:errcheck
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>paperbench live</title>
+<style>
+  body { font: 13px/1.4 -apple-system, "Segoe UI", sans-serif; margin: 0; background: #111; color: #ddd; }
+  header { padding: 10px 16px; background: #1a1a1a; border-bottom: 1px solid #333; display: flex; gap: 16px; align-items: baseline; }
+  header h1 { font-size: 15px; margin: 0; color: #fff; }
+  header .meta { color: #888; }
+  #alerts { margin: 12px 16px; }
+  #alerts table { border-collapse: collapse; width: 100%; }
+  #alerts th, #alerts td { text-align: left; padding: 3px 10px 3px 0; border-bottom: 1px solid #2a2a2a; }
+  #alerts th { color: #888; font-weight: normal; }
+  .state-firing { color: #ff5555; font-weight: bold; }
+  .state-pending { color: #ffb86c; }
+  .state-inactive { color: #50fa7b; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(280px, 1fr)); gap: 10px; padding: 0 16px 16px; }
+  .card { background: #1a1a1a; border: 1px solid #2a2a2a; border-radius: 4px; padding: 8px 10px; }
+  .card h3 { margin: 0 0 2px; font-size: 12px; font-weight: normal; color: #8be9fd; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .card .val { font-size: 16px; color: #fff; }
+  .card svg { width: 100%; height: 36px; display: block; }
+  .card polyline { fill: none; stroke: #8be9fd; stroke-width: 1.2; }
+  .err { color: #ff5555; padding: 16px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>paperbench live</h1>
+  <span class="meta" id="phase"></span>
+  <span class="meta" id="scopes"></span>
+</header>
+<div id="alerts"></div>
+<div id="grid"></div>
+<script>
+"use strict";
+const fmtNS = ns => {
+  if (ns >= 6e10) return (ns / 6e10).toFixed(1) + "m";
+  if (ns >= 1e9) return (ns / 1e9).toFixed(1) + "s";
+  return (ns / 1e6).toFixed(0) + "ms";
+};
+const fmtV = v => {
+  if (v === null || v === undefined) return "-";
+  if (Math.abs(v) >= 1000) return v.toFixed(0);
+  return +v.toPrecision(4) + "";
+};
+const esc = s => String(s).replace(/[&<>"]/g, c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+
+function spark(samples) {
+  if (!samples || samples.length < 2) return "<svg></svg>";
+  const xs = samples.map(s => s.T), ys = samples.map(s => s.V);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs);
+  const y0 = Math.min(...ys), y1 = Math.max(...ys);
+  const W = 280, H = 36, sx = x1 > x0 ? W / (x1 - x0) : 0, sy = y1 > y0 ? (H - 4) / (y1 - y0) : 0;
+  const pts = samples.map(s => ((s.T - x0) * sx).toFixed(1) + "," + (H - 2 - (s.V - y0) * sy).toFixed(1)).join(" ");
+  return '<svg viewBox="0 0 ' + W + " " + H + '" preserveAspectRatio="none"><polyline points="' + pts + '"/></svg>';
+}
+
+// Per-scope series worth a card, most-informative first.
+const preferred = [/^slo:burn$/, /^autoscale_/, /^fleet_/, /^faas_tasks_/, /^alert:state$/];
+function pickSeries(list) {
+  const scored = list.filter(s => s.kind !== "histogram").map(s => {
+    let rank = preferred.length;
+    preferred.forEach((re, i) => { if (re.test(s.name) && i < rank) rank = i; });
+    return { s, rank };
+  });
+  scored.sort((a, b) => a.rank - b.rank);
+  return scored.slice(0, 8).map(e => e.s);
+}
+
+async function getJSON(url) {
+  const r = await fetch(url);
+  if (!r.ok) throw new Error(url + " -> " + r.status);
+  return r.json();
+}
+
+async function refresh() {
+  try {
+    const [prog, scopes, alerts] = await Promise.all([
+      getJSON("/progress"), getJSON("/api/scopes"), getJSON("/api/alerts"),
+    ]);
+    document.getElementById("phase").textContent = "phase: " + (prog.phase || "?");
+    document.getElementById("scopes").textContent = scopes.map(s => s.scope + " (" + s.series + " series)").join("  ·  ");
+
+    let rows = "";
+    for (const sa of alerts) {
+      for (const a of sa.alerts || []) {
+        const labels = (a.labels || []).map(l => l.Key + "=" + l.Value).join(",");
+        rows += "<tr><td>" + esc(sa.scope) + "</td><td>" + esc(a.name) + (labels ? "{" + esc(labels) + "}" : "") +
+          '</td><td class="state-' + esc(a.state) + '">' + esc(a.state) + "</td><td>" + fmtV(a.value) +
+          "</td><td>" + (a.state !== "inactive" ? fmtNS(a.since_ns || 0) : "") +
+          "</td><td>" + ((a.incidents || []).length + (a.incidents_dropped || 0)) + "</td></tr>";
+      }
+    }
+    document.getElementById("alerts").innerHTML = rows
+      ? "<table><tr><th>scope</th><th>alert</th><th>state</th><th>value</th><th>since</th><th>incidents</th></tr>" + rows + "</table>"
+      : '<span style="color:#50fa7b">no alert rules registered or all inactive</span>';
+
+    const cards = [];
+    for (const sc of scopes) {
+      const idx = await getJSON("/api/series?scope=" + encodeURIComponent(sc.scope));
+      for (const si of pickSeries(idx.series || [])) {
+        let u = "/api/series?scope=" + encodeURIComponent(sc.scope) + "&name=" + encodeURIComponent(si.name) + "&fn=raw";
+        for (const l of si.labels || []) u += "&" + encodeURIComponent(l.Key) + "=" + encodeURIComponent(l.Value);
+        cards.push(getJSON(u).then(d => {
+          const last = d.samples && d.samples.length ? d.samples[d.samples.length - 1].V : null;
+          const lbl = (si.labels || []).map(l => l.Key + "=" + l.Value).join(",");
+          return '<div class="card"><h3>' + esc(sc.scope) + " · " + esc(si.name) + (lbl ? "{" + esc(lbl) + "}" : "") +
+            '</h3><span class="val">' + fmtV(last) + "</span>" + spark(d.samples) + "</div>";
+        }).catch(() => ""));
+      }
+    }
+    document.getElementById("grid").innerHTML = (await Promise.all(cards)).join("");
+  } catch (e) {
+    document.getElementById("grid").innerHTML = '<div class="err">' + esc(e.message || e) + "</div>";
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -39,14 +40,18 @@ func NewServer() *Server {
 }
 
 // AttachDB registers a tsdb handle under a scope label; its latest
-// samples appear on /metrics with scope="<scope>" and its series
-// become queryable via /api/series?scope=<scope>.
+// samples appear on /metrics with scope="<scope>", its series become
+// queryable via /api/series?scope=<scope>, and its alert rules on
+// /api/alerts. Scopes are served in lexicographic order no matter the
+// attachment order, so concurrently attached cells (parallel harness
+// workers) present deterministically.
 func (s *Server) AttachDB(scope string, db *tsdb.DB) {
 	if s == nil || db == nil {
 		return
 	}
 	s.mu.Lock()
 	s.dbs = append(s.dbs, scopedDB{scope, db})
+	sort.SliceStable(s.dbs, func(i, j int) bool { return s.dbs[i].scope < s.dbs[j].scope })
 	s.mu.Unlock()
 }
 
@@ -73,12 +78,16 @@ func (s *Server) Progress() *Progress {
 	return s.progress
 }
 
-// Handler builds the route set: /metrics, /api/series, /spans,
-// /progress, /healthz, and /debug/pprof.
+// Handler builds the route set: /metrics, /api/series, /api/scopes,
+// /api/alerts, /dashboard, /spans, /progress, /healthz, and
+// /debug/pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/api/series", s.handleSeries)
+	mux.HandleFunc("/api/scopes", s.handleScopes)
+	mux.HandleFunc("/api/alerts", s.handleAlerts)
+	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -141,6 +150,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // seriesResponse is the /api/series JSON shape. Scalar functions fill
 // Value; fn=raw fills Samples; no name lists every retained series.
+// Scope always echoes the scope that answered — when the request
+// omitted one, it reports which DB the server chose.
 type seriesResponse struct {
 	Scope   string            `json:"scope,omitempty"`
 	Name    string            `json:"name,omitempty"`
@@ -153,6 +164,15 @@ type seriesResponse struct {
 	Error   string            `json:"error,omitempty"`
 }
 
+// federatedResponse is the scope=* shape: the same query evaluated
+// against every attached DB, one result per scope in scope order.
+type federatedResponse struct {
+	Name    string           `json:"name,omitempty"`
+	Fn      string           `json:"fn,omitempty"`
+	OK      bool             `json:"ok"` // true when any scope answered
+	Results []seriesResponse `json:"results"`
+}
+
 // reserved /api/series query parameters; everything else is a label
 // matcher.
 var reservedParams = map[string]bool{
@@ -160,45 +180,80 @@ var reservedParams = map[string]bool{
 	"q": true, "from": true, "to": true,
 }
 
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	resp := seriesResponse{Scope: q.Get("scope"), Name: q.Get("name"), Fn: q.Get("fn")}
-	fail := func(code int, format string, args ...any) {
-		resp.Error = fmt.Sprintf(format, args...)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		json.NewEncoder(w).Encode(resp) //nolint:errcheck
-	}
-
+	scope := q.Get("scope")
 	dbs := s.snapshotDBs()
 	if len(dbs) == 0 {
-		fail(http.StatusServiceUnavailable, "no tsdb attached")
+		writeJSON(w, http.StatusServiceUnavailable, seriesResponse{Scope: scope, Error: "no tsdb attached"})
 		return
 	}
+
+	// scope=* federates: one query, every attached DB, results in
+	// scope order. Parameter errors fail the whole request.
+	if scope == "*" {
+		fresp := federatedResponse{Name: q.Get("name"), Fn: q.Get("fn")}
+		for _, sd := range dbs {
+			resp, code := evalSeries(sd.db, sd.scope, q)
+			if code != http.StatusOK {
+				writeJSON(w, code, resp)
+				return
+			}
+			if resp.OK {
+				fresp.OK = true
+			}
+			fresp.Fn = resp.Fn
+			fresp.Results = append(fresp.Results, resp)
+		}
+		writeJSON(w, http.StatusOK, fresp)
+		return
+	}
+
+	// No scope: answer from the lexicographically-first scope (the
+	// snapshot is sorted) and say so in the response — with several
+	// cells attached the choice is deterministic but still a choice.
 	db := dbs[0].db
-	if resp.Scope == "" {
-		resp.Scope = dbs[0].scope
+	if scope == "" {
+		scope = dbs[0].scope
 	} else {
 		db = nil
 		for _, sd := range dbs {
-			if sd.scope == resp.Scope {
+			if sd.scope == scope {
 				db = sd.db
 				break
 			}
 		}
 		if db == nil {
-			fail(http.StatusNotFound, "unknown scope %q", resp.Scope)
+			writeJSON(w, http.StatusNotFound, seriesResponse{
+				Scope: scope, Error: fmt.Sprintf("unknown scope %q", scope),
+			})
 			return
 		}
 	}
-	resp.LastNS = db.LastTime()
+	resp, code := evalSeries(db, scope, q)
+	writeJSON(w, code, resp)
+}
+
+// evalSeries answers one /api/series query against one DB. The
+// returned code is StatusOK or StatusBadRequest (malformed
+// parameters); "no such series" is OK=false, not an HTTP error.
+func evalSeries(db *tsdb.DB, scope string, q url.Values) (seriesResponse, int) {
+	resp := seriesResponse{Scope: scope, Name: q.Get("name"), Fn: q.Get("fn"), LastNS: db.LastTime()}
+	fail := func(format string, args ...any) (seriesResponse, int) {
+		resp.Error = fmt.Sprintf(format, args...)
+		return resp, http.StatusBadRequest
+	}
 
 	if resp.Name == "" {
 		resp.Series = db.List()
 		resp.OK = true
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp) //nolint:errcheck
-		return
+		return resp, http.StatusOK
 	}
 
 	// Deterministic label set from the remaining query parameters.
@@ -218,8 +273,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if ws := q.Get("window"); ws != "" {
 		var err error
 		if window, err = time.ParseDuration(ws); err != nil || window <= 0 {
-			fail(http.StatusBadRequest, "bad window %q", ws)
-			return
+			return fail("bad window %q", ws)
 		}
 	}
 
@@ -242,31 +296,90 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		qv := 0.95
 		if qs := q.Get("q"); qs != "" {
 			if _, err := fmt.Sscanf(qs, "%g", &qv); err != nil || qv < 0 || qv > 1 {
-				fail(http.StatusBadRequest, "bad q %q", qs)
-				return
+				return fail("bad q %q", qs)
 			}
 		}
 		v, ok = db.Quantile(resp.Name, qv, window, labels...)
 	case "raw":
 		var from, to time.Duration
+		var err error
 		if fs := q.Get("from"); fs != "" {
-			from, _ = time.ParseDuration(fs)
+			if from, err = time.ParseDuration(fs); err != nil {
+				return fail("bad from %q", fs)
+			}
 		}
 		if ts := q.Get("to"); ts != "" {
-			to, _ = time.ParseDuration(ts)
+			if to, err = time.ParseDuration(ts); err != nil {
+				return fail("bad to %q", ts)
+			}
 		}
 		resp.Samples = db.Samples(resp.Name, from, to, labels...)
 		ok = len(resp.Samples) > 0
 	default:
-		fail(http.StatusBadRequest, "unknown fn %q (want latest|rate|avg|max|quantile|raw)", fn)
-		return
+		return fail("unknown fn %q (want latest|rate|avg|max|quantile|raw)", fn)
 	}
 	resp.OK = ok
 	if ok && resp.Fn != "raw" {
 		resp.Value = &v
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	return resp, http.StatusOK
+}
+
+// scopeInfo is one attached DB's /api/scopes entry.
+type scopeInfo struct {
+	Scope         string        `json:"scope"`
+	Series        int           `json:"series"`
+	LastNS        time.Duration `json:"last_ns"`
+	Scrapes       int64         `json:"scrapes"`
+	AlertsPending int           `json:"alerts_pending"`
+	AlertsFiring  int           `json:"alerts_firing"`
+}
+
+// handleScopes lists every attached scope in lexicographic order —
+// the discovery endpoint clients (and /dashboard) use to find what
+// /api/series and /api/alerts can answer.
+func (s *Server) handleScopes(w http.ResponseWriter, r *http.Request) {
+	dbs := s.snapshotDBs()
+	out := make([]scopeInfo, 0, len(dbs))
+	for _, sd := range dbs {
+		pending, firing := sd.db.AlertCounts()
+		out = append(out, scopeInfo{
+			Scope:         sd.scope,
+			Series:        len(sd.db.List()),
+			LastNS:        sd.db.LastTime(),
+			Scrapes:       sd.db.Scrapes(),
+			AlertsPending: pending,
+			AlertsFiring:  firing,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scopeAlerts is one scope's /api/alerts entry: every registered rule
+// with its live state and resolved incident history.
+type scopeAlerts struct {
+	Scope  string             `json:"scope"`
+	Alerts []tsdb.AlertStatus `json:"alerts"`
+}
+
+// handleAlerts reports alert state across scopes (or one scope with
+// ?scope=). Rules come out in name order inside each scope, scopes in
+// lexicographic order.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	scope := r.URL.Query().Get("scope")
+	dbs := s.snapshotDBs()
+	out := make([]scopeAlerts, 0, len(dbs))
+	for _, sd := range dbs {
+		if scope != "" && sd.scope != scope {
+			continue
+		}
+		out = append(out, scopeAlerts{Scope: sd.scope, Alerts: sd.db.AlertStatuses()})
+	}
+	if scope != "" && len(out) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown scope %q", scope)})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) tailFor(scope string) *SpanTail {

@@ -60,6 +60,38 @@ func BenchmarkScrapeWithRules(b *testing.B) {
 	}
 }
 
+// BenchmarkAlertEval is the alert engine's steady-state path: a pack
+// of multi-window threshold rules re-evaluated on every scrape with no
+// state transitions. The acceptance gate holds the combined
+// scrape-plus-eval at 0 allocs/op — rule evaluation reuses the cached
+// series handles and the locked window helpers.
+func BenchmarkAlertEval(b *testing.B) {
+	db, clk, _ := benchDB(b)
+	for i := 0; i < 8; i++ {
+		app := string(rune('a' + i))
+		db.AddAlert(AlertRule{
+			Name: "depth-high", Labels: []obs.Label{obs.L("app", app)},
+			Series: "depth", SeriesLabels: []obs.Label{obs.L("app", app)},
+			Fn: "avg", Windows: []time.Duration{10 * time.Second, time.Minute},
+			Threshold: 1e9, For: 30 * time.Second,
+		})
+	}
+	// Warm the cached series bindings and fill the windows.
+	for i := 0; i < 8; i++ {
+		clk.t += time.Second
+		db.Scrape()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.t += time.Second
+		db.Scrape()
+	}
+	if testing.AllocsPerRun(10, db.Scrape) != 0 {
+		b.Fatal("steady-state alert evaluation allocates")
+	}
+}
+
 func BenchmarkEventAppend(b *testing.B) {
 	db, _, _ := benchDB(b)
 	s := db.EventSeries("events", 4096)

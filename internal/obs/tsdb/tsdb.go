@@ -125,6 +125,10 @@ type DB struct {
 	scrapes int64
 	last    time.Duration
 
+	alerts     []*Alert
+	pendingEv  []pendingAlertEvent
+	delivering bool
+
 	stop    *devent.Event
 	started bool
 }
@@ -184,17 +188,20 @@ func sortLabels(labels []obs.Label) []obs.Label {
 }
 
 // Scrape records one sample per registry instrument at the current
-// virtual time, then evaluates recording rules in registration order.
-// Must be called from sim context; safe on a nil DB. Steady-state cost
-// is ring writes only — the instrument list is cached and rebuilt only
-// when the registry's generation moved.
+// virtual time, then evaluates recording rules and alert rules in
+// registration order. Must be called from sim context; safe on a nil
+// DB. Steady-state cost is ring writes only — the instrument list is
+// cached and rebuilt only when the registry's generation moved. Alert
+// transitions are delivered to their OnEvent listeners after the DB
+// lock is released, so listeners may re-enter the DB.
 func (db *DB) Scrape() {
 	if db == nil {
 		return
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.scrapeLocked(db.clock.Now())
+	db.mu.Unlock()
+	db.deliverAlertEvents()
 }
 
 func (db *DB) scrapeLocked(now time.Duration) {
@@ -225,6 +232,9 @@ func (db *DB) scrapeLocked(now time.Duration) {
 	db.scrapes++
 	if now > db.last {
 		db.last = now
+	}
+	if len(db.alerts) > 0 {
+		db.evalAlertsLocked(now)
 	}
 }
 

@@ -30,6 +30,11 @@ type AutoscaleOptions struct {
 	// Telemetry attaches the live observability plane per cell (the
 	// cell label plays the fleet artifact's load role).
 	Telemetry *FleetTelemetry
+	// Alerts, when set, renders each cell's end-of-run alert-rule
+	// history (engine state + resolved incidents, grid order) to this
+	// writer. Purely virtual: byte-identical at any -parallel level
+	// and under -stream.
+	Alerts io.Writer
 }
 
 // autoscaleCells is the artifact's grid: the hybrid autoscaler against
@@ -113,6 +118,13 @@ func Autoscale(w io.Writer, opts AutoscaleOptions) error {
 		auto.Attainment, trough.Attainment, peak.Attainment)
 	fmt.Fprintf(bw, "virtual: verdict cold-starts auto=%d amortized=%.1f tasks/start (peak-static %.1f)\n",
 		auto.ColdStarts, auto.TasksPerColdStart, peak.TasksPerColdStart)
+	if opts.Alerts != nil {
+		for i, c := range cells {
+			if err := tsdb.WriteAlertHistory(opts.Alerts, "cell="+grid[i].label+" ", c.res.TSDB); err != nil {
+				return err
+			}
+		}
+	}
 	return bw.Flush()
 }
 

@@ -31,6 +31,12 @@ type FleetOptions struct {
 	WrapSink func(load string, base obs.SpanSink) obs.SpanSink
 	// Telemetry attaches the live observability plane per load cell.
 	Telemetry *FleetTelemetry
+	// Alerts, when set, renders each cell's end-of-run alert-rule
+	// history (engine state + resolved incidents, grid order) to this
+	// writer, forcing a per-cell tsdb store on if Telemetry hasn't
+	// already. Purely virtual: byte-identical at any -parallel level
+	// and under -stream.
+	Alerts io.Writer
 }
 
 // FleetTelemetry carries the live-plane hooks for the fleet artifact:
@@ -74,6 +80,9 @@ func Fleet(w io.Writer, opts FleetOptions) error {
 				cfg.OnDB = func(db *tsdb.DB) { t.OnCellDB(label, db) }
 			}
 		}
+		if opts.Alerts != nil && cfg.TSDB == nil {
+			cfg.TSDB = &tsdb.Config{}
+		}
 		if opts.Stream {
 			sink := obs.SpanSink(discardSink{})
 			if opts.WrapSink != nil {
@@ -95,6 +104,13 @@ func Fleet(w io.Writer, opts FleetOptions) error {
 			fmt.Fprintln(bw)
 		}
 		writeFleetCell(bw, fleetLoads[i], c.cfg, c.res)
+	}
+	if opts.Alerts != nil {
+		for i, c := range cells {
+			if err := tsdb.WriteAlertHistory(opts.Alerts, "cell="+fleetLoadLabel(fleetLoads[i])+" ", c.res.TSDB); err != nil {
+				return err
+			}
+		}
 	}
 	return bw.Flush()
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 )
 
 // ScaleOptions parameterizes the million-task throughput artifact.
@@ -41,6 +42,13 @@ type ScaleOptions struct {
 	// the live server tees its /spans tail in here. Ignored without
 	// Stream (snapshot collection has no sink to tee).
 	WrapSink func(shard int, base obs.SpanSink) obs.SpanSink
+	// Alerts, when set, renders each shard's end-of-run alert-rule
+	// history (engine state + resolved incidents, shard order) to this
+	// writer, forcing per-shard tsdb stores on if Telemetry hasn't
+	// already. With Compare the shards reported are the streaming
+	// run's (telemetry attaches there only). Purely virtual:
+	// byte-identical at any -parallel level and under -stream.
+	Alerts io.Writer
 }
 
 func (o ScaleOptions) config() core.ScaleConfig {
@@ -81,6 +89,29 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 	bw := bufio.NewWriter(w)
 	header(bw, "Million-task throughput — sharded open-loop scenario")
 	cfg := opts.config()
+	// Alerts need the shard stores, which only surface through the
+	// telemetry hook: force per-shard tsdbs on and capture each handle
+	// into its shard slot (index-addressed, so capture order — and with
+	// it the rendered artifact — is independent of shard scheduling).
+	var shardDBs []*tsdb.DB
+	if opts.Alerts != nil {
+		tel := core.ScaleTelemetry{}
+		if opts.Telemetry != nil {
+			tel = *opts.Telemetry
+		}
+		if tel.TSDB == nil {
+			tel.TSDB = &tsdb.Config{}
+		}
+		shardDBs = make([]*tsdb.DB, cfg.Shards)
+		inner := tel.OnShardDB
+		tel.OnShardDB = func(shard int, db *tsdb.DB) {
+			shardDBs[shard] = db
+			if inner != nil {
+				inner(shard, db)
+			}
+		}
+		opts.Telemetry = &tel
+	}
 	if opts.Compare {
 		snapRes, snapWall, err := runScale(cfg, ScaleOptions{}, false)
 		if err != nil {
@@ -101,6 +132,9 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 			snapRes.MaxRetained, strRes.MaxRetained)
 		fmt.Fprintf(bw, "compare: alloc_bytes snapshot=%d streaming=%d\n",
 			snapWall.allocBytes, strWall.allocBytes)
+		if err := writeScaleAlerts(opts.Alerts, shardDBs); err != nil {
+			return err
+		}
 		return bw.Flush()
 	}
 	mode := "snapshot"
@@ -112,7 +146,26 @@ func Scale(w io.Writer, opts ScaleOptions) error {
 		return err
 	}
 	writeScaleRun(bw, mode, cfg, res, wall)
+	if err := writeScaleAlerts(opts.Alerts, shardDBs); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// writeScaleAlerts renders each shard's alert history in shard order.
+func writeScaleAlerts(w io.Writer, dbs []*tsdb.DB) error {
+	if w == nil {
+		return nil
+	}
+	for i, db := range dbs {
+		if db == nil {
+			continue
+		}
+		if err := tsdb.WriteAlertHistory(w, fmt.Sprintf("shard=%d ", i), db); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runScale executes one scenario run, timing it and measuring
